@@ -1,0 +1,144 @@
+// M10 — micro-benchmarks (google-benchmark) for the kernels underneath the
+// enumerators: sorted-set intersection (merge vs gallop regimes), mask
+// probes, trie build, and trie classification vs direct scans at varying
+// prefix-sharing levels.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/neighborhood_trie.h"
+#include "core/set_ops.h"
+#include "util/random.h"
+
+namespace {
+
+using mbe::MembershipMask;
+using mbe::NeighborhoodTrie;
+using mbe::VertexId;
+
+std::vector<VertexId> RandomSortedSet(size_t n, size_t universe,
+                                      mbe::util::Rng& rng) {
+  std::vector<VertexId> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<VertexId>(rng.Below(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void BM_IntersectBalanced(benchmark::State& state) {
+  mbe::util::Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto a = RandomSortedSet(n, n * 4, rng);
+  auto b = RandomSortedSet(n, n * 4, rng);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    mbe::Intersect(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_IntersectBalanced)->Range(64, 1 << 14);
+
+void BM_IntersectLopsided(benchmark::State& state) {
+  mbe::util::Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto small = RandomSortedSet(32, n * 4, rng);
+  auto big = RandomSortedSet(n, n * 4, rng);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    mbe::Intersect(small, big, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_IntersectLopsided)->Range(1 << 10, 1 << 16);
+
+void BM_MaskProbe(benchmark::State& state) {
+  mbe::util::Rng rng(3);
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto set = RandomSortedSet(n / 2, n, rng);
+  auto probe = RandomSortedSet(n / 2, n, rng);
+  MembershipMask mask(n);
+  mask.Set(set);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbe::IntersectSizeWithMask(probe, mask));
+  }
+  mask.Clear(set);
+}
+BENCHMARK(BM_MaskProbe)->Range(256, 1 << 14);
+
+// Builds `groups` lists of length `len` over a universe, sharing a common
+// prefix of `shared` elements — the knob that decides whether the trie
+// pays off.
+struct TrieInput {
+  std::vector<std::vector<VertexId>> lists;
+  std::vector<std::span<const VertexId>> spans;
+  MembershipMask mask;
+};
+
+TrieInput MakeTrieInput(size_t groups, size_t len, size_t shared) {
+  mbe::util::Rng rng(4);
+  const size_t universe = 1 << 16;
+  TrieInput input;
+  auto prefix = RandomSortedSet(shared, universe / 4, rng);
+  for (size_t g = 0; g < groups; ++g) {
+    auto tail =
+        RandomSortedSet(len - prefix.size(), universe - universe / 4, rng);
+    std::vector<VertexId> list = prefix;
+    for (VertexId x : tail) {
+      list.push_back(static_cast<VertexId>(x + universe / 4));
+    }
+    input.lists.push_back(std::move(list));
+  }
+  for (const auto& l : input.lists) input.spans.emplace_back(l);
+  input.mask.EnsureUniverse(universe + 1);
+  auto members = RandomSortedSet(universe / 2, universe, rng);
+  input.mask.Set(members);
+  return input;
+}
+
+void BM_TrieClassify(benchmark::State& state) {
+  const size_t shared = static_cast<size_t>(state.range(0));
+  TrieInput input = MakeTrieInput(256, 64, shared);
+  NeighborhoodTrie trie;
+  trie.Build(input.spans);
+  std::vector<uint32_t> counts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.ClassifyAll(input.mask, &counts));
+  }
+  state.counters["trie_nodes"] = static_cast<double>(trie.num_nodes());
+}
+BENCHMARK(BM_TrieClassify)->Arg(0)->Arg(16)->Arg(32)->Arg(48)->Arg(60);
+
+void BM_DirectClassify(benchmark::State& state) {
+  const size_t shared = static_cast<size_t>(state.range(0));
+  TrieInput input = MakeTrieInput(256, 64, shared);
+  std::vector<uint32_t> counts(input.spans.size());
+  for (auto _ : state) {
+    for (size_t g = 0; g < input.spans.size(); ++g) {
+      counts[g] = static_cast<uint32_t>(
+          mbe::IntersectSizeWithMask(input.spans[g], input.mask));
+    }
+    benchmark::DoNotOptimize(counts.data());
+  }
+}
+BENCHMARK(BM_DirectClassify)->Arg(0)->Arg(16)->Arg(32)->Arg(48)->Arg(60);
+
+void BM_TrieBuild(benchmark::State& state) {
+  const size_t shared = static_cast<size_t>(state.range(0));
+  TrieInput input = MakeTrieInput(256, 64, shared);
+  NeighborhoodTrie trie;
+  for (auto _ : state) {
+    trie.Build(input.spans);
+    benchmark::DoNotOptimize(trie.num_nodes());
+  }
+}
+BENCHMARK(BM_TrieBuild)->Arg(0)->Arg(32)->Arg(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+#include "bench/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/stats.h"
+#include "util/timer.h"
+
+namespace mbe::bench {
+
+RunOutcome TimedRun(const BipartiteGraph& graph, const Options& options,
+                    double budget_seconds, uint64_t max_results) {
+  RunOutcome outcome;
+  CountSink counter;
+  BudgetSink budget(&counter, max_results, budget_seconds);
+
+  Options run_options = options;
+  util::MemoryTracker tracker;
+  if (options.algorithm == Algorithm::kMbet ||
+      options.algorithm == Algorithm::kMbetM) {
+    run_options.mbet.memory = &tracker;
+  }
+
+  RunResult run = Enumerate(graph, run_options, &budget);
+  // A run is truncated iff one of the budgets tripped during it.
+  outcome.completed = true;
+  if (budget_seconds > 0 && run.seconds >= budget_seconds) {
+    outcome.completed = false;
+  }
+  if (max_results > 0 && budget.emitted() >= max_results) {
+    outcome.completed = false;
+  }
+  outcome.seconds = run.seconds;
+  outcome.bicliques = counter.count();
+  outcome.stats = run.stats;
+  outcome.peak_bytes = tracker.peak();
+  return outcome;
+}
+
+std::string TimeCell(const RunOutcome& outcome, double budget_seconds) {
+  if (!outcome.completed) {
+    return ">" + util::HumanSeconds(budget_seconds);
+  }
+  return util::HumanSeconds(outcome.seconds);
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  PMBE_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has %zu cells, table has %zu columns", cells.size(),
+                 headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(widths[c] + 2), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  for (size_t i = 0; i < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+bool Table::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write CSV to %s\n", path.c_str());
+    return false;
+  }
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ",";
+      const bool needs_quotes =
+          row[c].find_first_of(",\"\n") != std::string::npos;
+      if (needs_quotes) {
+        out << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << row[c];
+      }
+    }
+    out << "\n";
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  return static_cast<bool>(out);
+}
+
+void EmitTable(const Table& table, const util::FlagParser& flags) {
+  table.Print();
+  const std::string csv = flags.GetString("csv");
+  if (!csv.empty() && table.WriteCsv(csv)) {
+    std::printf("\n(csv written to %s)\n", csv.c_str());
+  }
+}
+
+void PrintBanner(const std::string& experiment_id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("[%s] %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("datasets: synthetic stand-ins (see DESIGN.md S3); compare\n");
+  std::printf("shapes (who wins, by what factor), not absolute numbers.\n");
+  std::printf("==============================================================\n");
+}
+
+void AddCommonFlags(util::FlagParser* flags) {
+  flags->AddString("suite", "default",
+                   "dataset suite: default | full | large | comma list");
+  flags->AddDouble("scale", 1.0, "shrink factor applied to every dataset");
+  flags->AddDouble("budget", 20.0,
+                   "per-run time budget in seconds (0 = unlimited)");
+  flags->AddInt("threads", 1, "worker threads for parallel-capable runs");
+  flags->AddString("csv", "", "also write the table as CSV to this path");
+}
+
+std::vector<std::string> ResolveSuite(const std::string& suite) {
+  if (suite == "default") return gen::DefaultSuite();
+  if (suite == "full") return gen::FullSuite();
+  if (suite == "large") {
+    std::vector<std::string> names;
+    for (const gen::DatasetSpec& spec : gen::AllDatasets()) {
+      if (spec.large) names.push_back(spec.name);
+    }
+    return names;
+  }
+  // Comma-separated list.
+  std::vector<std::string> names;
+  std::string current;
+  for (char ch : suite) {
+    if (ch == ',') {
+      if (!current.empty()) names.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) names.push_back(current);
+  for (const std::string& name : names) gen::FindDataset(name);  // validate
+  return names;
+}
+
+}  // namespace mbe::bench

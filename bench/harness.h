@@ -1,0 +1,72 @@
+#ifndef PMBE_BENCH_HARNESS_H_
+#define PMBE_BENCH_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "api/mbe.h"
+#include "gen/registry.h"
+#include "util/flags.h"
+#include "util/memory.h"
+
+/// \file
+/// Shared plumbing for the experiment binaries: timed runs with budgets,
+/// fixed-width table printing, and common flags. Every experiment binary
+/// (one per table/figure, see DESIGN.md §4) prints a self-describing header
+/// plus a paper-style table to stdout and exits 0 even when individual runs
+/// hit their time budget (reported as ">budget").
+
+namespace mbe::bench {
+
+/// Outcome of a single timed enumeration run.
+struct RunOutcome {
+  bool completed = false;  ///< false when the time/result budget was hit
+  double seconds = 0.0;    ///< enumeration wall time
+  uint64_t bicliques = 0;  ///< bicliques emitted (possibly truncated)
+  EnumStats stats;
+  uint64_t peak_bytes = 0;  ///< peak tracked working set (MBET family only)
+};
+
+/// Runs `options` on `graph` counting results, stopping at
+/// `budget_seconds` (0 = unlimited) or `max_results` (0 = unlimited).
+RunOutcome TimedRun(const BipartiteGraph& graph, const Options& options,
+                    double budget_seconds, uint64_t max_results = 0);
+
+/// Formats a timing cell: "12.3ms", or ">5s" when the run was truncated.
+std::string TimeCell(const RunOutcome& outcome, double budget_seconds);
+
+/// Fixed-width console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void AddRow(std::vector<std::string> cells);
+  /// Prints the header, a rule, and all rows, right-padding each column.
+  void Print() const;
+  /// Writes the table as CSV (RFC-4180-style quoting) for plotting.
+  /// Returns false (with a message on stderr) if the file cannot be
+  /// written.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print + optional CSV dump controlled by the common `--csv` flag.
+void EmitTable(const Table& table, const util::FlagParser& flags);
+
+/// Prints the experiment banner (id, what it reproduces, substitution
+/// note).
+void PrintBanner(const std::string& experiment_id, const std::string& title);
+
+/// Registers the flags common to all experiment binaries (--suite,
+/// --scale, --budget, --threads).
+void AddCommonFlags(util::FlagParser* flags);
+
+/// Resolves --suite ("default", "full", "large", or a comma list of
+/// dataset names) into dataset names.
+std::vector<std::string> ResolveSuite(const std::string& suite);
+
+}  // namespace mbe::bench
+
+#endif  // PMBE_BENCH_HARNESS_H_

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Render an experiment CSV (produced with `bench_* --csv out.csv`) as an
+ASCII bar chart, one group of bars per dataset row.
+
+Time cells ("12.3ms", "4.56s", ">20s") and count cells ("26.6K", "1.2M")
+are parsed into comparable magnitudes; non-numeric columns are skipped.
+
+Usage:
+  bench_f4_ablation --csv f4.csv
+  scripts/plot_results.py f4.csv
+  scripts/plot_results.py f4.csv --width 50 --log
+"""
+
+import argparse
+import csv
+import math
+import re
+import sys
+
+_SUFFIX = {
+    "ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0,
+    "K": 1e3, "M": 1e6, "B": 1e9,
+    "B_bytes": 1.0, "KiB": 2**10, "MiB": 2**20, "GiB": 2**30,
+}
+
+_CELL_RE = re.compile(
+    r"^(>?)(\d+(?:\.\d+)?)(ns|us|ms|s|K|M|B|KiB|MiB|GiB)?$")
+
+
+def parse_cell(text):
+    """Returns (value, truncated) or None when the cell is not numeric."""
+    text = text.strip()
+    match = _CELL_RE.match(text)
+    if not match:
+        return None
+    truncated = match.group(1) == ">"
+    value = float(match.group(2))
+    suffix = match.group(3)
+    if suffix:
+        value *= _SUFFIX[suffix]
+    return value, truncated
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--width", type=int, default=40,
+                        help="max bar width in characters")
+    parser.add_argument("--log", action="store_true",
+                        help="log-scale the bars")
+    args = parser.parse_args()
+
+    with open(args.csv_path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if len(rows) < 2:
+        sys.exit("CSV has no data rows")
+    header, data = rows[0], rows[1:]
+
+    # Numeric columns: those where every non-empty cell parses.
+    numeric_cols = []
+    for c in range(1, len(header)):
+        cells = [row[c] for row in data if c < len(row) and row[c].strip()]
+        if cells and all(parse_cell(x) is not None for x in cells):
+            numeric_cols.append(c)
+    if not numeric_cols:
+        sys.exit("no numeric columns found")
+
+    peak = max(parse_cell(row[c])[0]
+               for row in data for c in numeric_cols if c < len(row))
+    if peak <= 0:
+        sys.exit("all values are zero")
+
+    def bar(value):
+        if args.log:
+            floor = 1e-9
+            frac = (math.log10(max(value, floor)) - math.log10(floor)) / (
+                math.log10(peak) - math.log10(floor) or 1.0)
+        else:
+            frac = value / peak
+        return "#" * max(1, int(round(frac * args.width)))
+
+    label_width = max(len(header[c]) for c in numeric_cols)
+    for row in data:
+        print(f"{row[0]}:")
+        for c in numeric_cols:
+            if c >= len(row) or not row[c].strip():
+                continue
+            value, truncated = parse_cell(row[c])
+            marker = " (budget)" if truncated else ""
+            print(f"  {header[c]:<{label_width}}  "
+                  f"{bar(value)} {row[c]}{marker}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

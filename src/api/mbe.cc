@@ -1,0 +1,305 @@
+#include "api/mbe.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "baselines/mbea.h"
+#include "baselines/mine_lmbc.h"
+#include "baselines/oombea_lite.h"
+#include "graph/reduction.h"
+#include "parallel/parallel_mbe.h"
+#include "util/timer.h"
+
+namespace mbe {
+
+Algorithm ParseAlgorithm(const std::string& name) {
+  if (name == "mbet") return Algorithm::kMbet;
+  if (name == "mbetm") return Algorithm::kMbetM;
+  if (name == "minelmbc") return Algorithm::kMineLmbc;
+  if (name == "mbea") return Algorithm::kMbea;
+  if (name == "imbea") return Algorithm::kImbea;
+  if (name == "oombea") return Algorithm::kOombeaLite;
+  PMBE_CHECK_MSG(false, "unknown algorithm '%s'", name.c_str());
+  return Algorithm::kMbet;
+}
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMbet:
+      return "MBET";
+    case Algorithm::kMbetM:
+      return "MBETM";
+    case Algorithm::kMineLmbc:
+      return "MineLMBC";
+    case Algorithm::kMbea:
+      return "MBEA";
+    case Algorithm::kImbea:
+      return "iMBEA";
+    case Algorithm::kOombeaLite:
+      return "ooMBEA-lite";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Maps emitted bicliques from preprocessed ids back to the caller's
+/// original ids (and original side orientation), re-sorting each side.
+/// Stateless per emission, hence safe for concurrent Emit calls.
+class TranslatingSink : public ResultSink {
+ public:
+  /// `left_new_to_old` / `right_new_to_old` are in the *preprocessed*
+  /// orientation; `swapped` says the preprocessed left side is the
+  /// caller's right side.
+  TranslatingSink(ResultSink* inner, std::vector<VertexId> left_new_to_old,
+                  std::vector<VertexId> right_new_to_old, bool swapped)
+      : inner_(inner),
+        left_map_(std::move(left_new_to_old)),
+        right_map_(std::move(right_new_to_old)),
+        swapped_(swapped) {}
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    std::vector<VertexId> l(left.size()), r(right.size());
+    for (size_t i = 0; i < left.size(); ++i) l[i] = left_map_[left[i]];
+    for (size_t i = 0; i < right.size(); ++i) r[i] = right_map_[right[i]];
+    std::sort(l.begin(), l.end());
+    std::sort(r.begin(), r.end());
+    if (swapped_) {
+      inner_->Emit(r, l);
+    } else {
+      inner_->Emit(l, r);
+    }
+  }
+
+  bool ShouldStop() const override { return inner_->ShouldStop(); }
+
+ private:
+  ResultSink* inner_;
+  std::vector<VertexId> left_map_;
+  std::vector<VertexId> right_map_;
+  bool swapped_;
+};
+
+/// SubtreeWorker adapters.
+class MbetWorker : public SubtreeWorker {
+ public:
+  MbetWorker(const BipartiteGraph& graph, const MbetOptions& options)
+      : engine_(graph, options) {}
+  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
+    engine_.EnumerateSubtree(v, sink);
+  }
+  EnumStats stats() const override { return engine_.stats(); }
+
+ private:
+  MbetEnumerator engine_;
+};
+
+class ImbeaWorker : public SubtreeWorker {
+ public:
+  explicit ImbeaWorker(const BipartiteGraph& graph)
+      : engine_(graph, MbeaOptions{.improved = true}) {}
+  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
+    engine_.EnumerateSubtree(v, sink);
+  }
+  EnumStats stats() const override { return engine_.stats(); }
+
+ private:
+  MbeaEnumerator engine_;
+};
+
+std::vector<VertexId> IdentityPerm(size_t n) {
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  return perm;
+}
+
+// Hub-first (descending degree) permutation of the left side: new id i is
+// old id perm[i].
+std::vector<VertexId> HubFirstLeftPerm(const BipartiteGraph& graph) {
+  std::vector<VertexId> perm = IdentityPerm(graph.num_left());
+  std::stable_sort(perm.begin(), perm.end(), [&](VertexId a, VertexId b) {
+    const size_t da = graph.LeftDegree(a);
+    const size_t db = graph.LeftDegree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return perm;
+}
+
+}  // namespace
+
+RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
+                    ResultSink* sink) {
+  PMBE_CHECK(sink != nullptr);
+  RunResult result;
+  util::WallTimer prep_timer;
+
+  // --- Preprocessing pipeline -------------------------------------------
+  BipartiteGraph work = graph;
+  const bool swapped =
+      options.auto_swap_sides && work.num_right() > work.num_left();
+  Options effective = options;
+  if (swapped) {
+    work = work.Swapped();
+    // The caller's constraints are stated in their orientation.
+    std::swap(effective.mbet.min_left, effective.mbet.min_right);
+  }
+
+  // Optional (p, q)-core reduction for size-constrained runs.
+  std::vector<VertexId> left_base = IdentityPerm(work.num_left());
+  std::vector<VertexId> right_base = IdentityPerm(work.num_right());
+  const bool mbet_family = options.algorithm == Algorithm::kMbet ||
+                           options.algorithm == Algorithm::kMbetM;
+  if (options.core_reduce && mbet_family &&
+      (effective.mbet.min_left > 1 || effective.mbet.min_right > 1)) {
+    CoreReduction reduced = PqCoreReduce(work, effective.mbet.min_left,
+                                         effective.mbet.min_right);
+    work = std::move(reduced.graph);
+    left_base = std::move(reduced.left_old);
+    right_base = std::move(reduced.right_old);
+  }
+
+  std::vector<VertexId> left_perm = IdentityPerm(work.num_left());
+  if (options.hub_first_left && work.num_left() > 0) {
+    left_perm = HubFirstLeftPerm(work);
+    // Relabel left = swap, relabel right, swap back.
+    work = work.Swapped().RelabelRight(left_perm).Swapped();
+  }
+
+  std::vector<VertexId> right_perm = IdentityPerm(work.num_right());
+  if (options.order != VertexOrder::kNone && work.num_right() > 0) {
+    right_perm = MakeOrder(work, options.order, options.seed);
+    work = work.RelabelRight(right_perm);
+  }
+
+  // Compose the relabelings with the reduction maps (new -> old).
+  std::vector<VertexId> left_map(work.num_left());
+  for (size_t i = 0; i < left_map.size(); ++i) {
+    left_map[i] = left_base[left_perm[i]];
+  }
+  std::vector<VertexId> right_map(work.num_right());
+  for (size_t i = 0; i < right_map.size(); ++i) {
+    right_map[i] = right_base[right_perm[i]];
+  }
+
+  TranslatingSink translator(sink, std::move(left_map), std::move(right_map),
+                             swapped);
+  result.preprocess_seconds = prep_timer.Seconds();
+
+  // --- Enumeration -------------------------------------------------------
+  util::WallTimer timer;
+  if (options.threads > 1) {
+    PMBE_CHECK_MSG(options.algorithm == Algorithm::kMbet ||
+                       options.algorithm == Algorithm::kMbetM ||
+                       options.algorithm == Algorithm::kImbea ||
+                       options.algorithm == Algorithm::kOombeaLite,
+                   "algorithm %s does not support threads > 1",
+                   AlgorithmName(options.algorithm));
+    ParallelOptions popts;
+    popts.threads = options.threads;
+    popts.scheduling = options.scheduling;
+    WorkerFactory factory;
+    if (options.algorithm == Algorithm::kMbet ||
+        options.algorithm == Algorithm::kMbetM) {
+      MbetOptions mopts = effective.mbet;
+      mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
+      factory = [&work, mopts]() -> std::unique_ptr<SubtreeWorker> {
+        return std::make_unique<MbetWorker>(work, mopts);
+      };
+    } else {
+      factory = [&work]() -> std::unique_ptr<SubtreeWorker> {
+        return std::make_unique<ImbeaWorker>(work);
+      };
+    }
+    result.stats = ParallelEnumerate(work, factory, popts, &translator);
+  } else {
+    switch (options.algorithm) {
+      case Algorithm::kMbet:
+      case Algorithm::kMbetM: {
+        MbetOptions mopts = effective.mbet;
+        mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
+        MbetEnumerator engine(work, mopts);
+        engine.EnumerateAll(&translator);
+        result.stats = engine.stats();
+        break;
+      }
+      case Algorithm::kMineLmbc: {
+        MineLmbcEnumerator engine(work);
+        engine.EnumerateAll(&translator);
+        result.stats = engine.stats();
+        break;
+      }
+      case Algorithm::kMbea: {
+        MbeaEnumerator engine(work, MbeaOptions{.improved = false});
+        engine.EnumerateAll(&translator);
+        result.stats = engine.stats();
+        break;
+      }
+      case Algorithm::kImbea: {
+        MbeaEnumerator engine(work, MbeaOptions{.improved = true});
+        engine.EnumerateAll(&translator);
+        result.stats = engine.stats();
+        break;
+      }
+      case Algorithm::kOombeaLite: {
+        OombeaLiteEnumerator engine(work);
+        engine.EnumerateAll(&translator);
+        result.stats = engine.stats();
+        break;
+      }
+    }
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+uint64_t CountMaximalBicliques(const BipartiteGraph& graph,
+                               const Options& options) {
+  CountSink sink;
+  Enumerate(graph, options, &sink);
+  return sink.count();
+}
+
+namespace {
+
+/// Tracks the best-so-far biclique by edge count and raises the
+/// branch-and-bound watermark the enumerator prunes against.
+class BestEdgeSink : public ResultSink {
+ public:
+  explicit BestEdgeSink(uint64_t* watermark) : watermark_(watermark) {}
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    const uint64_t edges =
+        static_cast<uint64_t>(left.size()) * right.size();
+    if (edges > *watermark_) {
+      *watermark_ = edges;
+      best_.left.assign(left.begin(), left.end());
+      best_.right.assign(right.begin(), right.end());
+    }
+  }
+
+  Biclique Take() { return std::move(best_); }
+
+ private:
+  uint64_t* watermark_;
+  Biclique best_;
+};
+
+}  // namespace
+
+Biclique FindMaximumBiclique(const BipartiteGraph& graph,
+                             const Options& options) {
+  uint64_t watermark = 0;
+  Options search = options;
+  search.algorithm = Algorithm::kMbet;
+  search.threads = 1;  // the watermark is unsynchronized mutable state
+  search.mbet.best_edges = &watermark;
+  BestEdgeSink sink(&watermark);
+  Enumerate(graph, search, &sink);
+  return sink.Take();
+}
+
+}  // namespace mbe

@@ -1,0 +1,112 @@
+#ifndef PMBE_API_MBE_H_
+#define PMBE_API_MBE_H_
+
+#include <string>
+
+#include "core/enum_stats.h"
+#include "core/mbet.h"
+#include "core/sink.h"
+#include "graph/bipartite_graph.h"
+#include "graph/ordering.h"
+#include "parallel/thread_pool.h"
+
+/// \file
+/// The library facade: one call that takes an input bipartite graph, an
+/// options struct, and a sink, and runs the full pipeline —
+/// preprocessing (side swap, left hub-first relabeling, right-side
+/// ordering), algorithm selection, optional parallel fan-out — while
+/// translating emitted bicliques back to the caller's original vertex ids.
+///
+/// Quickstart:
+/// ```
+///   mbe::CollectSink sink;
+///   mbe::Options options;                      // defaults: MBET, deg-asc
+///   mbe::RunResult run = mbe::Enumerate(graph, options, &sink);
+///   for (const mbe::Biclique& b : sink.TakeSorted()) { ... }
+/// ```
+
+namespace mbe {
+
+/// Which enumeration algorithm to run.
+enum class Algorithm {
+  kMbet,        ///< prefix-tree enumerator (the paper's contribution)
+  kMbetM,       ///< space-optimized MBET (no stored locals)
+  kMineLmbc,    ///< textbook recursive baseline
+  kMbea,        ///< MBEA (Q-set check, unsorted candidates)
+  kImbea,       ///< iMBEA (Q-set check + candidate ordering)
+  kOombeaLite,  ///< unilateral order + subtree-local iMBEA
+};
+
+/// Parses "mbet", "mbetm", "minelmbc", "mbea", "imbea", "oombea"; aborts on
+/// unknown names.
+Algorithm ParseAlgorithm(const std::string& name);
+
+/// Stable display name of an algorithm.
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Full configuration of an enumeration run.
+struct Options {
+  Algorithm algorithm = Algorithm::kMbet;
+
+  /// Right-side traversal order. kUnilateralAsc is the natural pairing for
+  /// kOombeaLite; everything else defaults to degree-ascending.
+  VertexOrder order = VertexOrder::kDegreeAsc;
+
+  /// Relabel the left side hub-first (descending degree) so that local
+  /// neighborhoods share prefixes in the trie. No effect on correctness.
+  bool hub_first_left = true;
+
+  /// Swap the sides when the right side is larger (the standard
+  /// preprocessing in the MBE literature). Emitted bicliques are swapped
+  /// back, so callers always see their original orientation.
+  bool auto_swap_sides = true;
+
+  /// Worker threads. >1 uses the per-vertex subtree decomposition, which
+  /// is supported by kMbet, kMbetM, kImbea and kOombeaLite.
+  unsigned threads = 1;
+  Scheduling scheduling = Scheduling::kDynamic;
+
+  /// Ablation switches forwarded to MBET (trie / aggregation / Q pruning),
+  /// plus the size thresholds min_left/min_right.
+  MbetOptions mbet;
+
+  /// When size thresholds are set (mbet.min_left/min_right > 1) and the
+  /// algorithm is MBET/MBETM, peel the graph to its (min_left, min_right)-
+  /// core before enumerating (graph/reduction.h). Exact: no qualifying
+  /// maximal biclique is lost.
+  bool core_reduce = true;
+
+  /// Seed for randomized orders (VertexOrder::kRandom).
+  uint64_t seed = 1;
+};
+
+/// Outcome of an Enumerate call.
+struct RunResult {
+  EnumStats stats;      ///< merged enumeration counters
+  double seconds = 0;   ///< wall time of the enumeration phase (excludes
+                        ///< graph preprocessing)
+  double preprocess_seconds = 0;  ///< ordering/relabeling time
+};
+
+/// Runs the configured enumeration of `graph` into `sink`. Emitted
+/// bicliques use the caller's original vertex ids and side orientation.
+RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
+                    ResultSink* sink);
+
+/// Convenience: counts the maximal bicliques of `graph` under `options`.
+uint64_t CountMaximalBicliques(const BipartiteGraph& graph,
+                               const Options& options);
+
+/// Finds a biclique of `graph` maximizing |L| * |R| (the maximum edge
+/// biclique) subject to `options.mbet.min_left` / `min_right`, using MBET
+/// with branch-and-bound pruning (subtrees whose |L| * |R| upper bound
+/// cannot beat the incumbent are skipped). Runs single-threaded — the
+/// pruning watermark is shared mutable state. Returns an empty biclique
+/// when no biclique satisfies the constraints. `options.algorithm` is
+/// ignored (always MBET).
+Biclique FindMaximumBiclique(const BipartiteGraph& graph,
+                             const Options& options);
+
+}  // namespace mbe
+
+#endif  // PMBE_API_MBE_H_

@@ -1,0 +1,124 @@
+#include "baselines/mbea.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mbe {
+
+MbeaEnumerator::MbeaEnumerator(const BipartiteGraph& graph,
+                               const MbeaOptions& options)
+    : graph_(graph),
+      options_(options),
+      l_mask_(graph.num_left()),
+      builder_(graph) {}
+
+void MbeaEnumerator::EnumerateAll(ResultSink* sink) {
+  if (graph_.num_left() == 0 || graph_.num_right() == 0) return;
+  std::vector<VertexId> l(graph_.num_left());
+  std::iota(l.begin(), l.end(), 0);
+  std::vector<VertexId> cands(graph_.num_right());
+  std::iota(cands.begin(), cands.end(), 0);
+  Expand(l, {}, std::move(cands), {}, sink);
+}
+
+void MbeaEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
+  if (sink->ShouldStop()) return;
+  bool pruned = false;
+  if (!builder_.Build(v, &root_, &root_absorbed_, &pruned)) {
+    if (pruned) ++stats_.subtrees_pruned;
+    return;
+  }
+  std::vector<VertexId> r;
+  r.push_back(v);
+  r.insert(r.end(), root_absorbed_.begin(), root_absorbed_.end());
+  std::sort(r.begin(), r.end());
+
+  std::vector<VertexId> cands, q;
+  for (const RootEntry& entry : root_.entries) {
+    (entry.forbidden ? q : cands).push_back(entry.w);
+  }
+  sink->Emit(root_.l0, r);
+  ++stats_.maximal;
+  if (!cands.empty()) {
+    Expand(root_.l0, r, std::move(cands), std::move(q), sink);
+  }
+}
+
+void MbeaEnumerator::Expand(const std::vector<VertexId>& l,
+                            const std::vector<VertexId>& r,
+                            std::vector<VertexId> cands,
+                            std::vector<VertexId> q, ResultSink* sink) {
+  ++stats_.nodes_expanded;
+  if (options_.improved) {
+    // iMBEA: traverse candidates in ascending |N(w) ∩ L|.
+    l_mask_.Set(l);
+    std::vector<std::pair<uint32_t, VertexId>> keyed;
+    keyed.reserve(cands.size());
+    for (VertexId w : cands) {
+      keyed.emplace_back(static_cast<uint32_t>(IntersectSizeWithMask(
+                             graph_.RightNeighbors(w), l_mask_)),
+                         w);
+    }
+    l_mask_.Clear(l);
+    std::sort(keyed.begin(), keyed.end());
+    for (size_t i = 0; i < keyed.size(); ++i) cands[i] = keyed[i].second;
+  }
+
+  std::vector<VertexId> lp, rp, cp, qp;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (sink->ShouldStop()) return;
+    const VertexId vc = cands[i];
+
+    l_mask_.Set(l);
+    IntersectWithMask(graph_.RightNeighbors(vc), l_mask_, &lp);
+    l_mask_.Clear(l);
+    if (lp.empty()) continue;
+
+    l_mask_.Set(lp);
+    // Maximality via the Q set: traversed vertices of this node are
+    // cands[0..i-1], accumulated into q at the end of each iteration.
+    bool maximal = true;
+    qp.clear();
+    for (VertexId qv : q) {
+      const size_t k =
+          options_.improved
+              ? IntersectSizeCapped(graph_.RightNeighbors(qv), lp, lp.size())
+              : IntersectSizeWithMask(graph_.RightNeighbors(qv), l_mask_);
+      if (k == lp.size()) {
+        maximal = false;
+        break;
+      }
+      if (k > 0 || !options_.improved) qp.push_back(qv);
+    }
+
+    if (maximal) {
+      rp = r;
+      rp.push_back(vc);
+      cp.clear();
+      for (size_t j = i + 1; j < cands.size(); ++j) {
+        const VertexId w = cands[j];
+        const size_t k =
+            IntersectSizeWithMask(graph_.RightNeighbors(w), l_mask_);
+        if (k == lp.size()) {
+          rp.push_back(w);
+          ++stats_.candidates_absorbed;
+        } else if (k > 0) {
+          cp.push_back(w);
+        } else {
+          ++stats_.candidates_dropped;
+        }
+      }
+      std::sort(rp.begin(), rp.end());
+      sink->Emit(lp, rp);
+      ++stats_.maximal;
+      l_mask_.Clear(lp);
+      if (!cp.empty()) Expand(lp, rp, std::move(cp), qp, sink);
+    } else {
+      ++stats_.non_maximal;
+      l_mask_.Clear(lp);
+    }
+    q.push_back(vc);
+  }
+}
+
+}  // namespace mbe

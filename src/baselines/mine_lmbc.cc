@@ -1,0 +1,82 @@
+#include "baselines/mine_lmbc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mbe {
+
+MineLmbcEnumerator::MineLmbcEnumerator(const BipartiteGraph& graph)
+    : graph_(graph), l_mask_(graph.num_left()) {}
+
+void MineLmbcEnumerator::CommonRight(const std::vector<VertexId>& left,
+                                     std::vector<VertexId>* out) const {
+  out->clear();
+  if (left.empty()) return;
+  auto first = graph_.LeftNeighbors(left[0]);
+  out->assign(first.begin(), first.end());
+  std::vector<VertexId> tmp;
+  for (size_t i = 1; i < left.size() && !out->empty(); ++i) {
+    Intersect(*out, graph_.LeftNeighbors(left[i]), &tmp);
+    out->swap(tmp);
+  }
+}
+
+void MineLmbcEnumerator::EnumerateAll(ResultSink* sink) {
+  if (graph_.num_left() == 0 || graph_.num_right() == 0) return;
+  std::vector<VertexId> l(graph_.num_left());
+  std::iota(l.begin(), l.end(), 0);
+  std::vector<VertexId> cands(graph_.num_right());
+  std::iota(cands.begin(), cands.end(), 0);
+  Expand(l, {}, cands, sink);
+}
+
+void MineLmbcEnumerator::Expand(const std::vector<VertexId>& l,
+                                const std::vector<VertexId>& r,
+                                const std::vector<VertexId>& cands,
+                                ResultSink* sink) {
+  ++stats_.nodes_expanded;
+  std::vector<VertexId> lp, rp, cp, closure;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (sink->ShouldStop()) return;
+    const VertexId vc = cands[i];
+
+    // L' = L ∩ N(vc).
+    l_mask_.Set(l);
+    IntersectWithMask(graph_.RightNeighbors(vc), l_mask_, &lp);
+    l_mask_.Clear(l);
+    if (lp.empty()) continue;
+
+    // R' = R ∪ {vc} ∪ { untraversed w : L' ⊆ N(w) };
+    // C' = { untraversed w : 0 < |N(w) ∩ L'| < |L'| }.
+    rp = r;
+    rp.push_back(vc);
+    cp.clear();
+    l_mask_.Set(lp);
+    for (size_t j = i + 1; j < cands.size(); ++j) {
+      const VertexId w = cands[j];
+      const size_t k = IntersectSizeWithMask(graph_.RightNeighbors(w), l_mask_);
+      if (k == lp.size()) {
+        rp.push_back(w);
+        ++stats_.candidates_absorbed;
+      } else if (k > 0) {
+        cp.push_back(w);
+      } else {
+        ++stats_.candidates_dropped;
+      }
+    }
+    l_mask_.Clear(lp);
+    std::sort(rp.begin(), rp.end());
+
+    // Maximality: R' must equal C(L'), recomputed from scratch.
+    CommonRight(lp, &closure);
+    if (closure == rp) {
+      sink->Emit(lp, rp);
+      ++stats_.maximal;
+      if (!cp.empty()) Expand(lp, rp, cp, sink);
+    } else {
+      ++stats_.non_maximal;
+    }
+  }
+}
+
+}  // namespace mbe

@@ -1,0 +1,47 @@
+#ifndef PMBE_BASELINES_MINE_LMBC_H_
+#define PMBE_BASELINES_MINE_LMBC_H_
+
+#include <vector>
+
+#include "core/enum_stats.h"
+#include "core/set_ops.h"
+#include "core/sink.h"
+#include "graph/bipartite_graph.h"
+
+/// \file
+/// MineLMBC-style baseline (Liu, Sim, Li, DaWaK 2006): the textbook
+/// recursive set-enumeration MBE (Algorithm 1 of the background sections of
+/// the MBE literature). Maximality is checked by recomputing C(L') from
+/// scratch at every node — the cost that later algorithms (MBEA's Q set,
+/// MBET's prefix tree) avoid. Included as the weakest comparison point.
+
+namespace mbe {
+
+/// The textbook recursive enumerator.
+class MineLmbcEnumerator {
+ public:
+  explicit MineLmbcEnumerator(const BipartiteGraph& graph);
+
+  /// Enumerates all maximal bicliques from the global root (U, ∅, V).
+  void EnumerateAll(ResultSink* sink);
+
+  const EnumStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EnumStats(); }
+
+ private:
+  void Expand(const std::vector<VertexId>& l, const std::vector<VertexId>& r,
+              const std::vector<VertexId>& cands, ResultSink* sink);
+
+  /// C(left) on the right side, computed by intersecting left adjacency
+  /// lists (the expensive from-scratch maximality check).
+  void CommonRight(const std::vector<VertexId>& left,
+                   std::vector<VertexId>* out) const;
+
+  const BipartiteGraph& graph_;
+  EnumStats stats_;
+  MembershipMask l_mask_;
+};
+
+}  // namespace mbe
+
+#endif  // PMBE_BASELINES_MINE_LMBC_H_

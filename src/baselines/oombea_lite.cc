@@ -1,0 +1,4 @@
+#include "baselines/oombea_lite.h"
+
+// Header-only implementation; this translation unit exists so the library
+// target has a compiled object asserting the header is self-contained.

@@ -1,0 +1,136 @@
+#ifndef PMBE_CORE_ANALYSIS_H_
+#define PMBE_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "core/biclique.h"
+#include "core/sink.h"
+#include "util/common.h"
+
+/// \file
+/// Analytics sinks for enumeration results. The application domains that
+/// motivate MBE (fraud rings, co-expression modules, taste groups) rarely
+/// want the raw result set — they want its largest members and its shape.
+/// These sinks compute that online, without materializing the results.
+
+namespace mbe {
+
+/// Shape summary of a stream of bicliques.
+struct ResultShape {
+  uint64_t count = 0;
+  uint64_t edge_total = 0;     ///< Σ |L|·|R|
+  size_t max_left = 0;         ///< largest |L| seen
+  size_t max_right = 0;        ///< largest |R| seen
+  uint64_t max_edges = 0;      ///< largest |L|·|R| seen
+  /// log2-bucketed histogram of |L|·|R|: bucket i counts bicliques with
+  /// 2^i <= edges < 2^(i+1).
+  std::vector<uint64_t> edge_histogram;
+};
+
+/// Accumulates a ResultShape online. Thread-safe.
+class ShapeSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    const uint64_t edges = static_cast<uint64_t>(left.size()) * right.size();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++shape_.count;
+    shape_.edge_total += edges;
+    shape_.max_left = std::max(shape_.max_left, left.size());
+    shape_.max_right = std::max(shape_.max_right, right.size());
+    shape_.max_edges = std::max(shape_.max_edges, edges);
+    size_t bucket = 0;
+    while ((edges >> (bucket + 1)) > 0) ++bucket;
+    if (shape_.edge_histogram.size() <= bucket) {
+      shape_.edge_histogram.resize(bucket + 1, 0);
+    }
+    ++shape_.edge_histogram[bucket];
+  }
+
+  /// Snapshot of the accumulated shape.
+  ResultShape shape() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shape_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ResultShape shape_;
+};
+
+/// Keeps the k bicliques with the most edges (ties broken towards the
+/// lexicographically smallest, for determinism across thread schedules).
+/// Thread-safe.
+class TopKSink : public ResultSink {
+ public:
+  explicit TopKSink(size_t k) : k_(k) { PMBE_CHECK(k > 0); }
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    Biclique b{{left.begin(), left.end()}, {right.begin(), right.end()}};
+    std::lock_guard<std::mutex> lock(mu_);
+    heap_.push(std::move(b));
+    if (heap_.size() > k_) heap_.pop();
+  }
+
+  /// The top-k bicliques, most edges first. Drains the sink.
+  std::vector<Biclique> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Biclique> out;
+    out.reserve(heap_.size());
+    while (!heap_.empty()) {
+      out.push_back(heap_.top());
+      heap_.pop();
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  // Min-heap by (edges, then reverse-lex so that the lexicographically
+  // larger biclique is evicted first on ties).
+  struct WorseFirst {
+    bool operator()(const Biclique& a, const Biclique& b) const {
+      const uint64_t ea = a.num_edges();
+      const uint64_t eb = b.num_edges();
+      if (ea != eb) return ea > eb;  // min-heap on edges
+      return a < b;                  // evict the lexicographically larger
+    }
+  };
+
+  size_t k_;
+  std::mutex mu_;
+  std::priority_queue<Biclique, std::vector<Biclique>, WorseFirst> heap_;
+};
+
+/// Fans one emission out to several sinks (e.g. count + shape + top-k in a
+/// single pass). Stops as soon as any child requests it.
+class TeeSink : public ResultSink {
+ public:
+  explicit TeeSink(std::vector<ResultSink*> sinks)
+      : sinks_(std::move(sinks)) {
+    for (ResultSink* s : sinks_) PMBE_CHECK(s != nullptr);
+  }
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    for (ResultSink* s : sinks_) s->Emit(left, right);
+  }
+
+  bool ShouldStop() const override {
+    for (ResultSink* s : sinks_) {
+      if (s->ShouldStop()) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_ANALYSIS_H_

@@ -1,0 +1,39 @@
+#ifndef PMBE_CORE_BICLIQUE_H_
+#define PMBE_CORE_BICLIQUE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file
+/// The biclique value type and an order-independent fingerprint used to
+/// compare the outputs of different algorithms without materializing and
+/// sorting the full result set.
+
+namespace mbe {
+
+/// A biclique (L, R): `left` ⊆ U, `right` ⊆ V, both sorted ascending.
+struct Biclique {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+
+  size_t num_edges() const { return left.size() * right.size(); }
+
+  friend bool operator==(const Biclique&, const Biclique&) = default;
+  friend auto operator<=>(const Biclique&, const Biclique&) = default;
+};
+
+/// Renders "{u0,u1} x {v0,v1}" for logs and test failure messages.
+std::string ToString(const Biclique& b);
+
+/// 64-bit hash of one biclique (order-sensitive within each side; sides are
+/// sorted by construction). Used for result-set fingerprints.
+uint64_t HashBiclique(std::span<const VertexId> left,
+                      std::span<const VertexId> right);
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_BICLIQUE_H_

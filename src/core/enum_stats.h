@@ -1,0 +1,56 @@
+#ifndef PMBE_CORE_ENUM_STATS_H_
+#define PMBE_CORE_ENUM_STATS_H_
+
+#include <cstdint>
+
+/// \file
+/// Counters shared by all enumerators. The pruning-efficiency table (T3)
+/// and the ablation figure (F4) are computed from these, and the tests use
+/// them to assert structural properties (e.g. aggregation strictly reduces
+/// the number of generated nodes).
+
+namespace mbe {
+
+/// Per-run enumeration counters. Additive: MergeFrom combines the counters
+/// of parallel workers.
+struct EnumStats {
+  /// Enumeration-tree nodes whose child generation was attempted.
+  uint64_t nodes_expanded = 0;
+  /// Children that passed the maximality check (== bicliques emitted).
+  uint64_t maximal = 0;
+  /// Children that failed the maximality check (wasted work the paper's
+  /// techniques aim to avoid).
+  uint64_t non_maximal = 0;
+  /// Candidate groups dropped because their local neighborhood became empty.
+  uint64_t candidates_dropped = 0;
+  /// Candidate groups absorbed directly into R' (full local neighborhood).
+  uint64_t candidates_absorbed = 0;
+  /// Vertices merged away by equivalence-class aggregation.
+  uint64_t vertices_aggregated = 0;
+  /// Trie nodes visited across all classification passes (the prefix-tree
+  /// cost measure).
+  uint64_t trie_probes = 0;
+  /// Sum of |loc| over the same classification passes (what a direct,
+  /// per-candidate scan would have probed). trie_probes <= local_scan_size,
+  /// with the gap measuring shared-prefix savings.
+  uint64_t local_scan_size = 0;
+  /// Subtrees skipped entirely at the root because an earlier vertex
+  /// dominates the root's L.
+  uint64_t subtrees_pruned = 0;
+
+  void MergeFrom(const EnumStats& other) {
+    nodes_expanded += other.nodes_expanded;
+    maximal += other.maximal;
+    non_maximal += other.non_maximal;
+    candidates_dropped += other.candidates_dropped;
+    candidates_absorbed += other.candidates_absorbed;
+    vertices_aggregated += other.vertices_aggregated;
+    trie_probes += other.trie_probes;
+    local_scan_size += other.local_scan_size;
+    subtrees_pruned += other.subtrees_pruned;
+  }
+};
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_ENUM_STATS_H_

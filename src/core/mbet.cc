@@ -1,0 +1,375 @@
+#include "core/mbet.h"
+
+#include <algorithm>
+
+namespace mbe {
+
+MbetEnumerator::MbetEnumerator(const BipartiteGraph& graph,
+                               const MbetOptions& options)
+    : graph_(graph),
+      options_(options),
+      builder_(graph),
+      lp_mask_(graph.num_left()) {
+  // MBETM stores no local lists, so there is nothing to build a trie over.
+  if (options_.recompute_locals) options_.use_trie = false;
+}
+
+MbetEnumerator::Level& MbetEnumerator::LevelAt(size_t depth) {
+  while (levels_.size() <= depth) {
+    levels_.push_back(std::make_unique<Level>());
+  }
+  return *levels_[depth];
+}
+
+void MbetEnumerator::EnumerateAll(ResultSink* sink) {
+  for (VertexId v = 0; v < graph_.num_right(); ++v) {
+    if (sink->ShouldStop()) return;
+    EnumerateSubtree(v, sink);
+  }
+}
+
+void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
+  if (sink->ShouldStop()) return;
+  // Size filter: every biclique of this subtree has L ⊆ N(v).
+  if (graph_.RightDegree(v) < options_.min_left) return;
+  bool pruned = false;
+  if (!builder_.Build(v, &root_, &root_absorbed_, &pruned)) {
+    if (pruned) ++stats_.subtrees_pruned;
+    return;
+  }
+
+  Level& lvl = LevelAt(0);
+  lvl.l = root_.l0;
+  lvl.r.clear();
+  lvl.r.push_back(v);
+  lvl.r.insert(lvl.r.end(), root_absorbed_.begin(), root_absorbed_.end());
+  std::sort(lvl.r.begin(), lvl.r.end());
+
+  lvl.groups.clear();
+  lvl.locs.clear();
+  lvl.members.clear();
+  for (const RootEntry& entry : root_.entries) {
+    Group g;
+    g.mem_off = static_cast<uint32_t>(lvl.members.size());
+    g.mem_len = 1;
+    lvl.members.push_back(entry.w);
+    g.loc_off = static_cast<uint32_t>(lvl.locs.size());
+    g.loc_len = static_cast<uint32_t>(entry.loc.size());
+    lvl.locs.insert(lvl.locs.end(), entry.loc.begin(), entry.loc.end());
+    g.loc_hash = HashVertexSpan(entry.loc);
+    g.forbidden = entry.forbidden;
+    lvl.groups.push_back(g);
+  }
+  SortAndAggregate(&lvl);
+  if (options_.recompute_locals) lvl.locs.clear();
+  lvl.trie_built = false;
+
+  // The subtree root biclique (N(v), {v} ∪ absorbed) is maximal by
+  // construction: domination by an earlier vertex was excluded by the
+  // builder, and all dominating later vertices were absorbed.
+  if (lvl.r.size() >= options_.min_right) {
+    sink->Emit(lvl.l, lvl.r);
+    ++stats_.maximal;
+  }
+
+  bool has_candidate = false;
+  uint64_t r_upper = lvl.r.size();
+  for (const Group& g : lvl.groups) {
+    if (!g.forbidden) {
+      has_candidate = true;
+      r_upper += g.mem_len;
+    }
+  }
+  if (!has_candidate) return;
+  if (r_upper < options_.min_right) return;
+  if (options_.best_edges != nullptr &&
+      lvl.l.size() * r_upper <= *options_.best_edges) {
+    return;
+  }
+  Recurse(0, sink);
+}
+
+void MbetEnumerator::SortAndAggregate(Level* lvl) {
+  if (!options_.use_aggregation || lvl->groups.size() < 2) return;
+  // Cheap surrogate key: equal locals imply equal (size, hash), so equal
+  // groups land adjacent without any lexicographic compares. Group records
+  // are 32 bytes, so the sort moves no heap data.
+  std::sort(lvl->groups.begin(), lvl->groups.end(),
+            [lvl](const Group& a, const Group& b) {
+              if (a.forbidden != b.forbidden) return a.forbidden < b.forbidden;
+              if (a.loc_len != b.loc_len) return a.loc_len < b.loc_len;
+              if (a.loc_hash != b.loc_hash) return a.loc_hash < b.loc_hash;
+              return lvl->members[a.mem_off] < lvl->members[b.mem_off];
+            });
+  auto loc_equal = [lvl](const Group& a, const Group& b) {
+    return a.loc_len == b.loc_len && a.loc_hash == b.loc_hash &&
+           a.forbidden == b.forbidden &&
+           std::equal(lvl->locs.begin() + a.loc_off,
+                      lvl->locs.begin() + a.loc_off + a.loc_len,
+                      lvl->locs.begin() + b.loc_off);
+  };
+  // Collapse each run of equivalent groups in one pass: gather all member
+  // runs into fresh arena space and sort once (the old runs become dead
+  // space, reclaimed when the level is rebuilt).
+  const size_t n = lvl->groups.size();
+  size_t out = 0;
+  for (size_t i = 0; i < n;) {
+    size_t j = i + 1;
+    while (j < n && loc_equal(lvl->groups[i], lvl->groups[j])) ++j;
+    Group rep = lvl->groups[i];
+    if (j > i + 1) {
+      const uint32_t merged_off = static_cast<uint32_t>(lvl->members.size());
+      uint32_t total = 0;
+      for (size_t k = i; k < j; ++k) {
+        const Group& g = lvl->groups[k];
+        total += g.mem_len;
+        // Append by index: iterator-based insert from the same vector
+        // would be invalidated by reallocation.
+        for (uint32_t m = 0; m < g.mem_len; ++m) {
+          lvl->members.push_back(lvl->members[g.mem_off + m]);
+        }
+      }
+      std::sort(lvl->members.begin() + merged_off, lvl->members.end());
+      stats_.vertices_aggregated += total - rep.mem_len;
+      rep.mem_off = merged_off;
+      rep.mem_len = total;
+    }
+    lvl->groups[out++] = rep;
+    i = j;
+  }
+  lvl->groups.resize(out);
+}
+
+void MbetEnumerator::Classify(Level& lvl) {
+  const size_t n = lvl.groups.size();
+  lvl.counts.resize(n);
+  if (lvl.trie_built) {
+    // One pass over the prefix tree classifies every group; shared
+    // prefixes are probed once.
+    stats_.trie_probes += lvl.trie.ClassifyAll(lp_mask_, &lvl.counts);
+    stats_.local_scan_size += lvl.trie.total_list_length();
+    return;
+  }
+  if (options_.recompute_locals) {
+    // MBETM: no stored locals; count against the full adjacency of a
+    // representative member (all members share the same local).
+    for (size_t h = 0; h < n; ++h) {
+      auto nbrs = graph_.RightNeighbors(lvl.members[lvl.groups[h].mem_off]);
+      lvl.counts[h] =
+          static_cast<uint32_t>(IntersectSizeWithMask(nbrs, lp_mask_));
+      stats_.trie_probes += nbrs.size();
+      stats_.local_scan_size += nbrs.size();
+    }
+    return;
+  }
+  // Direct per-group scan over stored locals (trie ablated).
+  for (size_t h = 0; h < n; ++h) {
+    const Group& g = lvl.groups[h];
+    lvl.counts[h] =
+        static_cast<uint32_t>(IntersectSizeWithMask(lvl.LocOf(g), lp_mask_));
+    stats_.trie_probes += g.loc_len;
+    stats_.local_scan_size += g.loc_len;
+  }
+}
+
+MbetEnumerator::Level& MbetEnumerator::BuildChild(
+    size_t depth, uint32_t traversed, std::vector<VertexId>* absorbed_members) {
+  Level& lvl = *levels_[depth];
+  Level& child = LevelAt(depth + 1);
+  const uint32_t lp_size = static_cast<uint32_t>(child.l.size());
+
+  absorbed_members->clear();
+  child.groups.clear();
+  child.locs.clear();
+  child.members.clear();
+  for (size_t h = 0; h < lvl.groups.size(); ++h) {
+    if (h == traversed) continue;
+    const Group& g = lvl.groups[h];
+    const uint32_t count = lvl.counts[h];
+    if (!g.forbidden && count == lp_size) {
+      // Dominates L': belongs in R' of the child.
+      ++stats_.candidates_absorbed;
+      auto mem = lvl.MembersOf(g);
+      absorbed_members->insert(absorbed_members->end(), mem.begin(), mem.end());
+      continue;
+    }
+    if (count == 0) {
+      if (!g.forbidden) {
+        ++stats_.candidates_dropped;
+        continue;
+      }
+      if (options_.prune_q) continue;
+      // Ablation mode: keep dead Q groups alive (loc becomes empty).
+    }
+    Group c;
+    c.forbidden = g.forbidden;
+    c.mem_off = static_cast<uint32_t>(child.members.size());
+    c.mem_len = g.mem_len;
+    {
+      auto mem = lvl.MembersOf(g);
+      child.members.insert(child.members.end(), mem.begin(), mem.end());
+    }
+    c.loc_off = static_cast<uint32_t>(child.locs.size());
+    c.loc_len = count;
+    if (count > 0) {
+      // Materialize loc ∩ L' straight into the child's arena, hashing on
+      // the way.
+      uint64_t hash = 1469598103934665603ULL;
+      auto emit = [&](VertexId x) {
+        child.locs.push_back(x);
+        hash = (hash ^ (x + 1ULL)) * 1099511628211ULL;
+      };
+      if (options_.recompute_locals) {
+        for (VertexId x : graph_.RightNeighbors(lvl.members[g.mem_off])) {
+          if (lp_mask_.Test(x)) emit(x);
+        }
+      } else {
+        for (VertexId x : lvl.LocOf(g)) {
+          if (lp_mask_.Test(x)) emit(x);
+        }
+      }
+      c.loc_hash = hash;
+      PMBE_DCHECK(child.locs.size() - c.loc_off == count);
+    }
+    child.groups.push_back(c);
+  }
+  SortAndAggregate(&child);
+  if (options_.recompute_locals) child.locs.clear();
+  child.trie_built = false;
+
+  // R' = R ∪ traversed members ∪ absorbed. R is sorted along the whole
+  // path; sort only the (small) additions and merge.
+  {
+    auto mem = lvl.MembersOf(lvl.groups[traversed]);
+    absorbed_members->insert(absorbed_members->end(), mem.begin(), mem.end());
+    std::sort(absorbed_members->begin(), absorbed_members->end());
+    child.r.clear();
+    child.r.reserve(lvl.r.size() + absorbed_members->size());
+    std::merge(lvl.r.begin(), lvl.r.end(), absorbed_members->begin(),
+               absorbed_members->end(), std::back_inserter(child.r));
+  }
+  return child;
+}
+
+uint64_t MbetEnumerator::LevelBytes(const Level& lvl) {
+  uint64_t bytes = sizeof(Level);
+  bytes += lvl.groups.size() * sizeof(Group);
+  bytes += (lvl.locs.size() + lvl.members.size()) * sizeof(VertexId);
+  bytes += (lvl.l.size() + lvl.r.size()) * sizeof(VertexId);
+  bytes += lvl.counts.size() * sizeof(uint32_t);
+  bytes += lvl.order.size() * sizeof(uint32_t);
+  bytes += lvl.trie.MemoryBytes();
+  return bytes;
+}
+
+void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
+  Level& lvl = *levels_[depth];
+  ++stats_.nodes_expanded;
+
+  // Adaptive trie: each candidate traversal runs one classification pass,
+  // so the build only pays off on nodes wide enough to amortize it.
+  if (options_.use_trie && !lvl.trie_built) {
+    uint32_t cand_groups = 0;
+    for (const Group& g : lvl.groups) cand_groups += g.forbidden ? 0 : 1;
+    if (cand_groups >= options_.trie_min_groups) {
+      lvl.lists.clear();
+      lvl.lists.reserve(lvl.groups.size());
+      for (const Group& g : lvl.groups) lvl.lists.push_back(lvl.LocOf(g));
+      lvl.trie.BuildUnordered(lvl.lists);
+      lvl.trie_built = true;
+    }
+  }
+
+  uint64_t bytes = 0;
+  if (options_.memory != nullptr) {
+    bytes = LevelBytes(lvl);
+    options_.memory->Add(bytes);
+  }
+
+  // Candidate traversal order: ascending local size (small locals first is
+  // the classic choice: their subtrees are shallow and they turn into
+  // strong Q witnesses early), ties by smallest member id.
+  lvl.order.clear();
+  for (size_t i = 0; i < lvl.groups.size(); ++i) {
+    if (!lvl.groups[i].forbidden) lvl.order.push_back(static_cast<uint32_t>(i));
+  }
+  std::sort(lvl.order.begin(), lvl.order.end(), [&](uint32_t a, uint32_t b) {
+    const Group& ga = lvl.groups[a];
+    const Group& gb = lvl.groups[b];
+    if (ga.loc_len != gb.loc_len) return ga.loc_len < gb.loc_len;
+    return lvl.members[ga.mem_off] < lvl.members[gb.mem_off];
+  });
+
+  std::vector<VertexId> absorbed_members;
+  for (uint32_t idx : lvl.order) {
+    if (sink->ShouldStop()) break;
+    Group& g = lvl.groups[idx];
+    const uint32_t lp_size = g.loc_len;
+    if (lp_size < options_.min_left) {
+      // Every biclique under g has L ⊆ loc(g), all too small. Skip the
+      // expansion but keep g as a Q witness for its siblings.
+      g.forbidden = true;
+      continue;
+    }
+
+    // Materialize L' into the child slot.
+    Level& child = LevelAt(depth + 1);
+    if (options_.recompute_locals) {
+      lp_mask_.Set(lvl.l);
+      IntersectWithMask(graph_.RightNeighbors(lvl.members[g.mem_off]),
+                        lp_mask_, &child.l);
+      lp_mask_.Clear(lvl.l);
+      PMBE_DCHECK(child.l.size() == lp_size);
+    } else {
+      auto loc = lvl.LocOf(g);
+      child.l.assign(loc.begin(), loc.end());
+    }
+
+    lp_mask_.Set(child.l);
+    Classify(lvl);
+
+    // Maximality (node) check: a forbidden group dominating L' witnesses
+    // that this child's bicliques are enumerated elsewhere.
+    bool witness = false;
+    for (size_t h = 0; h < lvl.groups.size(); ++h) {
+      if (lvl.groups[h].forbidden && lvl.counts[h] == lp_size) {
+        witness = true;
+        break;
+      }
+    }
+    if (witness) {
+      ++stats_.non_maximal;
+      lp_mask_.Clear(child.l);
+      g.forbidden = true;  // acts as Q for the remaining siblings
+      continue;
+    }
+
+    BuildChild(depth, idx, &absorbed_members);
+    lp_mask_.Clear(child.l);
+
+    if (child.r.size() >= options_.min_right) {
+      sink->Emit(child.l, child.r);
+      ++stats_.maximal;
+    }
+
+    bool has_candidate = false;
+    uint64_t r_upper = child.r.size();
+    for (const Group& cg : child.groups) {
+      if (!cg.forbidden) {
+        has_candidate = true;
+        r_upper += cg.mem_len;
+      }
+    }
+    const bool r_reachable = r_upper >= options_.min_right;
+    const bool bound_ok =
+        options_.best_edges == nullptr ||
+        child.l.size() * r_upper > *options_.best_edges;
+    if (has_candidate && r_reachable && bound_ok) Recurse(depth + 1, sink);
+
+    g.forbidden = true;
+  }
+
+  if (options_.memory != nullptr) options_.memory->Sub(bytes);
+}
+
+}  // namespace mbe

@@ -1,0 +1,155 @@
+#include "core/set_ops.h"
+
+#include <algorithm>
+
+#include "core/biclique.h"
+
+namespace mbe {
+
+namespace {
+
+// When one operand is at least this many times longer than the other,
+// gallop (binary search each element of the short side in the long side)
+// instead of a linear merge.
+constexpr size_t kGallopRatio = 32;
+
+// Galloping intersection: for each x in `small`, binary-search in `big`.
+// Visitor is called for each common element; returns false to stop early.
+template <typename Visitor>
+void GallopCommon(std::span<const VertexId> small,
+                  std::span<const VertexId> big, Visitor&& visit) {
+  const VertexId* lo = big.data();
+  const VertexId* end = big.data() + big.size();
+  for (VertexId x : small) {
+    lo = std::lower_bound(lo, end, x);
+    if (lo == end) return;
+    if (*lo == x) {
+      if (!visit(x)) return;
+      ++lo;
+    }
+  }
+}
+
+// Linear merge intersection; same visitor contract.
+template <typename Visitor>
+void MergeCommon(std::span<const VertexId> a, std::span<const VertexId> b,
+                 Visitor&& visit) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      if (!visit(a[i])) return;
+      ++i;
+      ++j;
+    }
+  }
+}
+
+template <typename Visitor>
+void ForEachCommon(std::span<const VertexId> a, std::span<const VertexId> b,
+                   Visitor&& visit) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return;
+  if (b.size() / a.size() >= kGallopRatio) {
+    GallopCommon(a, b, visit);
+  } else {
+    MergeCommon(a, b, visit);
+  }
+}
+
+}  // namespace
+
+void Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+               std::vector<VertexId>* out) {
+  out->clear();
+  ForEachCommon(a, b, [out](VertexId x) {
+    out->push_back(x);
+    return true;
+  });
+}
+
+size_t IntersectSize(std::span<const VertexId> a,
+                     std::span<const VertexId> b) {
+  size_t count = 0;
+  ForEachCommon(a, b, [&count](VertexId) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+size_t IntersectSizeCapped(std::span<const VertexId> a,
+                           std::span<const VertexId> b, size_t cap) {
+  size_t count = 0;
+  ForEachCommon(a, b, [&count, cap](VertexId) {
+    ++count;
+    return count < cap;
+  });
+  return count;
+}
+
+bool IsSubset(std::span<const VertexId> a, std::span<const VertexId> b) {
+  if (a.size() > b.size()) return false;
+  return IntersectSize(a, b) == a.size();
+}
+
+void Union(std::span<const VertexId> a, std::span<const VertexId> b,
+           std::vector<VertexId>* out) {
+  out->clear();
+  out->reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out->push_back(a[i++]);
+    } else if (a[i] > b[j]) {
+      out->push_back(b[j++]);
+    } else {
+      out->push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + i, a.end());
+  out->insert(out->end(), b.begin() + j, b.end());
+}
+
+void Difference(std::span<const VertexId> a, std::span<const VertexId> b,
+                std::vector<VertexId>* out) {
+  out->clear();
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      out->push_back(a[i++]);
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  out->insert(out->end(), a.begin() + i, a.end());
+}
+
+bool Contains(std::span<const VertexId> a, VertexId x) {
+  return std::binary_search(a.begin(), a.end(), x);
+}
+
+size_t IntersectSizeWithMask(std::span<const VertexId> s,
+                             const MembershipMask& mask) {
+  size_t count = 0;
+  for (VertexId x : s) count += mask.Test(x) ? 1 : 0;
+  return count;
+}
+
+void IntersectWithMask(std::span<const VertexId> s, const MembershipMask& mask,
+                       std::vector<VertexId>* out) {
+  out->clear();
+  for (VertexId x : s) {
+    if (mask.Test(x)) out->push_back(x);
+  }
+}
+
+}  // namespace mbe

@@ -1,0 +1,102 @@
+#ifndef PMBE_CORE_SET_OPS_H_
+#define PMBE_CORE_SET_OPS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file
+/// Kernels over sorted vertex sets. Every enumeration algorithm spends the
+/// bulk of its time here, so the kernels avoid allocation (outputs go to
+/// caller-provided vectors) and adapt between linear merge and galloping
+/// (binary-search) strategies when the operand sizes are lopsided.
+
+namespace mbe {
+
+/// Intersects sorted `a` and `b` into `*out` (cleared first).
+void Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
+               std::vector<VertexId>* out);
+
+/// Returns |a ∩ b| without materializing the intersection.
+size_t IntersectSize(std::span<const VertexId> a, std::span<const VertexId> b);
+
+/// Returns |a ∩ b|, stopping early once the count reaches `cap` (returns
+/// `cap` in that case). Used for "is the intersection full/empty" tests.
+size_t IntersectSizeCapped(std::span<const VertexId> a,
+                           std::span<const VertexId> b, size_t cap);
+
+/// True iff every element of `a` is in `b` (both sorted).
+bool IsSubset(std::span<const VertexId> a, std::span<const VertexId> b);
+
+/// Unions sorted `a` and `b` into `*out` (cleared first).
+void Union(std::span<const VertexId> a, std::span<const VertexId> b,
+           std::vector<VertexId>* out);
+
+/// Set-difference a \ b into `*out` (cleared first).
+void Difference(std::span<const VertexId> a, std::span<const VertexId> b,
+                std::vector<VertexId>* out);
+
+/// True iff sorted `a` contains `x` (binary search).
+bool Contains(std::span<const VertexId> a, VertexId x);
+
+/// A reusable byte-per-vertex membership mask over one vertex side.
+/// Set/clear a working set, then probe membership in O(1). Clearing is
+/// proportional to the set size, not the universe size.
+class MembershipMask {
+ public:
+  MembershipMask() = default;
+  explicit MembershipMask(size_t universe) : mask_(universe, 0) {}
+
+  /// Grows the universe if needed (marks preserved).
+  void EnsureUniverse(size_t universe) {
+    if (mask_.size() < universe) mask_.resize(universe, 0);
+  }
+
+  /// Marks all elements of `s` (which must be within the universe).
+  void Set(std::span<const VertexId> s) {
+    for (VertexId x : s) {
+      PMBE_DCHECK(x < mask_.size());
+      mask_[x] = 1;
+    }
+  }
+
+  /// Unmarks all elements of `s`.
+  void Clear(std::span<const VertexId> s) {
+    for (VertexId x : s) mask_[x] = 0;
+  }
+
+  bool Test(VertexId x) const {
+    PMBE_DCHECK(x < mask_.size());
+    return mask_[x] != 0;
+  }
+
+  size_t universe() const { return mask_.size(); }
+
+ private:
+  std::vector<uint8_t> mask_;
+};
+
+/// Order-dependent 64-bit hash of a vertex list (FNV-1a over elements).
+/// Equal lists hash equal; used as a cheap grouping key.
+inline uint64_t HashVertexSpan(std::span<const VertexId> s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (VertexId x : s) {
+    h = (h ^ (x + 1ULL)) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Returns |s ∩ mask| by probing the mask for each element of `s`.
+size_t IntersectSizeWithMask(std::span<const VertexId> s,
+                             const MembershipMask& mask);
+
+/// Intersects `s` with the mask into `*out` (cleared first), preserving
+/// order of `s`.
+void IntersectWithMask(std::span<const VertexId> s, const MembershipMask& mask,
+                       std::vector<VertexId>* out);
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_SET_OPS_H_

@@ -1,0 +1,94 @@
+#include "core/sink.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mbe {
+
+std::string ToString(const Biclique& b) {
+  std::string out = "{";
+  for (size_t i = 0; i < b.left.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(b.left[i]);
+  }
+  out += "} x {";
+  for (size_t i = 0; i < b.right.size(); ++i) {
+    if (i) out += ",";
+    out += std::to_string(b.right[i]);
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+// 64-bit mix (from MurmurHash3 finalizer).
+uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+uint64_t HashBiclique(std::span<const VertexId> left,
+                      std::span<const VertexId> right) {
+  uint64_t h = 0x8f1bbcdcbfa53e0bULL;
+  for (VertexId u : left) h = Mix64(h ^ (u + 0x9e3779b97f4a7c15ULL));
+  h = Mix64(h ^ 0xdeadbeefULL);
+  for (VertexId v : right) h = Mix64(h ^ (v + 0x165667b19e3779f9ULL));
+  h = Mix64(h ^ (left.size() << 32 ^ right.size()));
+  return h;
+}
+
+std::vector<Biclique> CollectSink::TakeSorted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::sort(results_.begin(), results_.end());
+  return std::move(results_);
+}
+
+uint64_t FingerprintSink::Digest() const {
+  uint64_t s = sum_.load(std::memory_order_relaxed);
+  uint64_t x = xor_.load(std::memory_order_relaxed);
+  uint64_t c = count_.load(std::memory_order_relaxed);
+  // Fold the three commutative accumulators into one digest.
+  uint64_t d = s;
+  d = d * 0x9e3779b97f4a7c15ULL + x;
+  d = d * 0x9e3779b97f4a7c15ULL + c;
+  return d;
+}
+
+BudgetSink::BudgetSink(ResultSink* inner, uint64_t max_results,
+                       double deadline_seconds)
+    : inner_(inner),
+      max_results_(max_results),
+      deadline_seconds_(deadline_seconds),
+      start_(std::chrono::steady_clock::now()) {
+  PMBE_CHECK(inner != nullptr);
+}
+
+void BudgetSink::Emit(std::span<const VertexId> left,
+                      std::span<const VertexId> right) {
+  inner_->Emit(left, right);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool BudgetSink::ShouldStop() const {
+  if (inner_->ShouldStop()) return true;
+  if (max_results_ > 0 &&
+      emitted_.load(std::memory_order_relaxed) >= max_results_) {
+    return true;
+  }
+  if (deadline_seconds_ > 0) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed >= deadline_seconds_) return true;
+  }
+  return false;
+}
+
+}  // namespace mbe

@@ -1,0 +1,144 @@
+#ifndef PMBE_CORE_SINK_H_
+#define PMBE_CORE_SINK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "core/biclique.h"
+#include "util/common.h"
+
+/// \file
+/// Result sinks: where enumerated maximal bicliques go. Enumerators call
+/// `Emit(left, right)` with sorted spans valid only for the duration of the
+/// call; sinks copy what they need. All sinks here are thread-safe so the
+/// same sink can be shared by the parallel driver's workers.
+
+namespace mbe {
+
+/// Abstract consumer of enumerated maximal bicliques.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// Called once per maximal biclique. `left`/`right` are sorted ascending
+  /// and only valid during the call. Must be thread-safe.
+  virtual void Emit(std::span<const VertexId> left,
+                    std::span<const VertexId> right) = 0;
+
+  /// Optional cooperative cancellation: enumerators poll this between
+  /// enumeration nodes and stop early when it returns true. Used by the
+  /// progress experiment (F9) and by callers imposing time budgets.
+  virtual bool ShouldStop() const { return false; }
+};
+
+/// Counts bicliques (and their aggregate dimensions) without storing them.
+class CountSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    left_total_.fetch_add(left.size(), std::memory_order_relaxed);
+    right_total_.fetch_add(right.size(), std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t left_total() const { return left_total_.load(std::memory_order_relaxed); }
+  uint64_t right_total() const { return right_total_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> left_total_{0};
+  std::atomic<uint64_t> right_total_{0};
+};
+
+/// Stores every biclique. Intended for tests and small results.
+class CollectSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    results_.push_back(Biclique{{left.begin(), left.end()},
+                                {right.begin(), right.end()}});
+  }
+
+  /// Results in canonical (sorted) order; call after enumeration finishes.
+  std::vector<Biclique> TakeSorted();
+
+  /// Unsorted access (single-threaded use after enumeration).
+  const std::vector<Biclique>& results() const { return results_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Biclique> results_;
+};
+
+/// Forwards each biclique to a user callback (serialized by a mutex).
+class CallbackSink : public ResultSink {
+ public:
+  using Callback = std::function<void(std::span<const VertexId>,
+                                      std::span<const VertexId>)>;
+  explicit CallbackSink(Callback cb) : cb_(std::move(cb)) {}
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    cb_(left, right);
+  }
+
+ private:
+  std::mutex mu_;
+  Callback cb_;
+};
+
+/// Order-independent fingerprint of the result set: a commutative
+/// combination (sum and xor) of per-biclique hashes, plus the count.
+/// Two runs producing the same multiset of bicliques produce the same
+/// fingerprint regardless of enumeration order or thread interleaving.
+class FingerprintSink : public ResultSink {
+ public:
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    const uint64_t h = HashBiclique(left, right);
+    sum_.fetch_add(h, std::memory_order_relaxed);
+    xor_.fetch_xor(h, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Combined digest (sum, xor, count folded together).
+  uint64_t Digest() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> xor_{0};
+  std::atomic<uint64_t> count_{0};
+};
+
+/// Decorates another sink with a stop condition: stop after `max_results`
+/// bicliques or after `deadline_seconds` of wall time (0 disables either).
+class BudgetSink : public ResultSink {
+ public:
+  BudgetSink(ResultSink* inner, uint64_t max_results, double deadline_seconds);
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override;
+  bool ShouldStop() const override;
+
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+
+ private:
+  ResultSink* inner_;
+  uint64_t max_results_;
+  double deadline_seconds_;
+  std::atomic<uint64_t> emitted_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_SINK_H_

@@ -1,0 +1,61 @@
+#include "core/subtree.h"
+
+#include <algorithm>
+
+namespace mbe {
+
+SubtreeBuilder::SubtreeBuilder(const BipartiteGraph& graph)
+    : graph_(graph),
+      two_hop_(graph.num_right()),
+      l_mask_(graph.num_left()) {}
+
+bool SubtreeBuilder::Build(VertexId v, SubtreeRoot* root,
+                           std::vector<VertexId>* absorbed, bool* pruned) {
+  *pruned = false;
+  root->seed = v;
+  root->entries.clear();
+  absorbed->clear();
+
+  auto nbrs = graph_.RightNeighbors(v);
+  if (nbrs.empty()) return false;
+  root->l0.assign(nbrs.begin(), nbrs.end());
+
+  two_hop_.RightTwoHop(graph_, v, &n2_);
+
+  l_mask_.Set(root->l0);
+  const size_t l0_size = root->l0.size();
+  bool dominated = false;
+  for (VertexId w : n2_) {
+    RootEntry entry;
+    entry.w = w;
+    entry.forbidden = w < v;
+    IntersectWithMask(graph_.RightNeighbors(w), l_mask_, &entry.loc);
+    if (entry.loc.empty()) continue;  // unreachable from L0: N2 guarantees >0
+    if (entry.loc.size() == l0_size) {
+      if (entry.forbidden) {
+        // An earlier vertex dominates L0: the whole subtree is covered by
+        // subtree(w). Prune.
+        dominated = true;
+        break;
+      }
+      absorbed->push_back(w);
+      continue;
+    }
+    root->entries.push_back(std::move(entry));
+  }
+  l_mask_.Clear(root->l0);
+
+  if (dominated) {
+    *pruned = true;
+    return false;
+  }
+  return true;
+}
+
+uint64_t EstimateSubtreeWork(const SubtreeRoot& root) {
+  const uint64_t c = root.entries.size();
+  const uint64_t h = std::min<uint64_t>(root.l0.size(), c);
+  return h * c;
+}
+
+}  // namespace mbe

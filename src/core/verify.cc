@@ -1,0 +1,131 @@
+#include "core/verify.h"
+
+#include <algorithm>
+
+#include "core/set_ops.h"
+#include "core/sink.h"
+
+namespace mbe {
+
+namespace {
+
+// Common neighbors (left side) of a set of right vertices.
+std::vector<VertexId> CommonLeft(const BipartiteGraph& graph,
+                                 std::span<const VertexId> right) {
+  std::vector<VertexId> acc;
+  for (size_t i = 0; i < right.size(); ++i) {
+    auto nbrs = graph.RightNeighbors(right[i]);
+    if (i == 0) {
+      acc.assign(nbrs.begin(), nbrs.end());
+    } else {
+      std::vector<VertexId> tmp;
+      Intersect(acc, nbrs, &tmp);
+      acc = std::move(tmp);
+    }
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+// Common neighbors (right side) of a set of left vertices.
+std::vector<VertexId> CommonRight(const BipartiteGraph& graph,
+                                  std::span<const VertexId> left) {
+  std::vector<VertexId> acc;
+  for (size_t i = 0; i < left.size(); ++i) {
+    auto nbrs = graph.LeftNeighbors(left[i]);
+    if (i == 0) {
+      acc.assign(nbrs.begin(), nbrs.end());
+    } else {
+      std::vector<VertexId> tmp;
+      Intersect(acc, nbrs, &tmp);
+      acc = std::move(tmp);
+    }
+    if (acc.empty()) break;
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<Biclique> BruteForceMbe(const BipartiteGraph& graph) {
+  const size_t n = graph.num_right();
+  PMBE_CHECK_MSG(n <= 22, "brute force limited to |V| <= 22, got %zu", n);
+  std::vector<Biclique> results;
+  // Every maximal biclique (L, R) satisfies R = C(L) and L = C(R); it is
+  // the closure of the subset S = R, so iterating all nonempty S and
+  // closing twice finds all of them (with duplicates, removed at the end).
+  const uint32_t limit = n >= 32 ? 0xFFFFFFFFu : (1u << n);
+  for (uint32_t mask = 1; mask != 0 && mask < limit; ++mask) {
+    std::vector<VertexId> subset;
+    for (size_t v = 0; v < n; ++v) {
+      if (mask & (1u << v)) subset.push_back(static_cast<VertexId>(v));
+    }
+    std::vector<VertexId> left = CommonLeft(graph, subset);
+    if (left.empty()) continue;
+    std::vector<VertexId> right = CommonRight(graph, left);
+    results.push_back(Biclique{std::move(left), std::move(right)});
+  }
+  std::sort(results.begin(), results.end());
+  results.erase(std::unique(results.begin(), results.end()), results.end());
+  return results;
+}
+
+bool IsBiclique(const BipartiteGraph& graph, const Biclique& b) {
+  if (b.left.empty() || b.right.empty()) return false;
+  // Sides must be sorted, duplicate-free, and in range.
+  for (size_t i = 0; i < b.left.size(); ++i) {
+    if (b.left[i] >= graph.num_left()) return false;
+    if (i > 0 && b.left[i] <= b.left[i - 1]) return false;
+  }
+  for (size_t i = 0; i < b.right.size(); ++i) {
+    if (b.right[i] >= graph.num_right()) return false;
+    if (i > 0 && b.right[i] <= b.right[i - 1]) return false;
+  }
+  for (VertexId v : b.right) {
+    if (!IsSubset(b.left, graph.RightNeighbors(v))) return false;
+  }
+  return true;
+}
+
+bool IsMaximalBiclique(const BipartiteGraph& graph, const Biclique& b) {
+  if (!IsBiclique(graph, b)) return false;
+  return CommonLeft(graph, b.right) == b.left &&
+         CommonRight(graph, b.left) == b.right;
+}
+
+std::string ValidateResultSet(const BipartiteGraph& graph,
+                              const std::vector<Biclique>& results) {
+  std::vector<Biclique> sorted = results;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      return "duplicate biclique: " + ToString(sorted[i]);
+    }
+    if (!IsMaximalBiclique(graph, sorted[i])) {
+      return "not a maximal biclique: " + ToString(sorted[i]);
+    }
+  }
+  return "";
+}
+
+std::string DiffResultSets(std::vector<Biclique> expected,
+                           std::vector<Biclique> actual) {
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  size_t i = 0, j = 0;
+  while (i < expected.size() && j < actual.size()) {
+    if (expected[i] == actual[j]) {
+      ++i;
+      ++j;
+    } else if (expected[i] < actual[j]) {
+      return "missing: " + ToString(expected[i]);
+    } else {
+      return "unexpected: " + ToString(actual[j]);
+    }
+  }
+  if (i < expected.size()) return "missing: " + ToString(expected[i]);
+  if (j < actual.size()) return "unexpected: " + ToString(actual[j]);
+  return "";
+}
+
+}  // namespace mbe

@@ -1,0 +1,45 @@
+#ifndef PMBE_CORE_VERIFY_H_
+#define PMBE_CORE_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/biclique.h"
+#include "graph/bipartite_graph.h"
+
+/// \file
+/// Ground-truth oracle and validators used by the tests.
+///
+/// The oracle enumerates maximal bicliques by brute force over the power
+/// set of the right side (closure-of-every-subset), which is exponential
+/// and only usable for |V| up to ~20 — exactly what the property tests
+/// need to cross-check the real algorithms on thousands of random graphs.
+
+namespace mbe {
+
+/// Brute-force maximal biclique enumeration. Aborts if `graph.num_right()`
+/// exceeds 22 (the subset loop would not terminate in test time).
+/// Returns bicliques in canonical sorted order, deduplicated.
+std::vector<Biclique> BruteForceMbe(const BipartiteGraph& graph);
+
+/// True iff (b.left, b.right) is a biclique of `graph` (every pair is an
+/// edge, both sides nonempty, no duplicates within a side).
+bool IsBiclique(const BipartiteGraph& graph, const Biclique& b);
+
+/// True iff `b` is a *maximal* biclique of `graph`.
+bool IsMaximalBiclique(const BipartiteGraph& graph, const Biclique& b);
+
+/// Validates an enumeration result set: every entry is a maximal biclique
+/// and there are no duplicates. On failure returns a description of the
+/// first problem; on success returns the empty string.
+std::string ValidateResultSet(const BipartiteGraph& graph,
+                              const std::vector<Biclique>& results);
+
+/// Compares two result sets (sorted or not) and describes the first
+/// difference, or returns "" when they are equal as sets.
+std::string DiffResultSets(std::vector<Biclique> expected,
+                           std::vector<Biclique> actual);
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_VERIFY_H_

@@ -1,0 +1,68 @@
+#ifndef PMBE_GEN_GENERATORS_H_
+#define PMBE_GEN_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+/// \file
+/// Synthetic bipartite graph generators. These are the data substrate of
+/// the evaluation: the MBE literature benchmarks on KONECT/SNAP datasets
+/// that are not available in this offline environment, so the dataset
+/// registry (registry.h) composes these generators into scaled stand-ins
+/// matching each dataset's |U|:|V| ratio, average degree, and degree skew.
+///
+/// All generators are deterministic in their seed.
+
+namespace mbe::gen {
+
+/// Uniform (Erdős–Rényi) bipartite graph: each of the `num_left*num_right`
+/// possible edges appears independently with probability `p`. For sparse
+/// settings the generator uses geometric skipping, so the cost is
+/// proportional to the number of edges generated.
+BipartiteGraph ErdosRenyi(size_t num_left, size_t num_right, double p,
+                          uint64_t seed);
+
+/// Uniform bipartite graph with exactly `num_edges` distinct edges sampled
+/// without replacement.
+BipartiteGraph UniformEdges(size_t num_left, size_t num_right,
+                            size_t num_edges, uint64_t seed);
+
+/// Chung–Lu style power-law bipartite graph. Both sides get Zipf-like
+/// weights `w_i ∝ (i+1)^-alpha`; an edge (u, v) appears with probability
+/// ≈ w_u * w_v * S where S normalizes the expected edge count to
+/// `target_edges`. Realized via weighted sampling of `target_edges`
+/// endpoints with duplicate collapse, which preserves the degree skew that
+/// drives MBE difficulty (a few huge-degree hubs, many leaves).
+BipartiteGraph PowerLaw(size_t num_left, size_t num_right,
+                        size_t target_edges, double alpha_left,
+                        double alpha_right, uint64_t seed);
+
+/// Parameters of one planted biclique.
+struct PlantedBiclique {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+};
+
+/// Plants `count` complete bipartite blocks of size `left_size x right_size`
+/// at random positions on top of `base`, then returns the combined graph.
+/// Planted blocks may overlap each other and the base edges. When
+/// `out_planted` is non-null the chosen blocks are reported (tests use this
+/// to assert that each planted block is contained in some enumerated
+/// maximal biclique).
+BipartiteGraph PlantBicliques(const BipartiteGraph& base, size_t count,
+                              size_t left_size, size_t right_size,
+                              uint64_t seed,
+                              std::vector<PlantedBiclique>* out_planted);
+
+/// A "community" graph: `blocks` dense groups with intra-block edge
+/// probability `p_in` plus background probability `p_out`. Models the
+/// fraud-ring / recommendation workloads from the MBE application domains.
+BipartiteGraph BlockCommunity(size_t num_left, size_t num_right,
+                              size_t blocks, double p_in, double p_out,
+                              uint64_t seed);
+
+}  // namespace mbe::gen
+
+#endif  // PMBE_GEN_GENERATORS_H_

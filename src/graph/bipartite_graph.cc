@@ -1,0 +1,137 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "graph/two_hop.h"
+
+namespace mbe {
+
+BipartiteGraph BipartiteGraph::FromEdges(size_t num_left, size_t num_right,
+                                         std::vector<Edge> edges) {
+  for (const Edge& e : edges) {
+    PMBE_CHECK_MSG(e.u < num_left && e.v < num_right,
+                   "edge (%u, %u) out of range (%zu x %zu)", e.u, e.v,
+                   num_left, num_right);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  BipartiteGraph g;
+  g.left_offsets_.assign(num_left + 1, 0);
+  g.right_offsets_.assign(num_right + 1, 0);
+  for (const Edge& e : edges) {
+    ++g.left_offsets_[e.u + 1];
+    ++g.right_offsets_[e.v + 1];
+  }
+  for (size_t i = 1; i <= num_left; ++i) g.left_offsets_[i] += g.left_offsets_[i - 1];
+  for (size_t i = 1; i <= num_right; ++i) g.right_offsets_[i] += g.right_offsets_[i - 1];
+
+  g.left_adj_.resize(edges.size());
+  g.right_adj_.resize(edges.size());
+  // Edges are sorted (u, v); filling left adjacency in order keeps each
+  // left list sorted by v.
+  {
+    std::vector<uint64_t> cursor(g.left_offsets_.begin(), g.left_offsets_.end() - 1);
+    for (const Edge& e : edges) g.left_adj_[cursor[e.u]++] = e.v;
+  }
+  // For the right side, a second pass grouped by v: since edges are sorted
+  // by (u, v), filling right lists in edge order keeps each right list
+  // sorted by u.
+  {
+    std::vector<uint64_t> cursor(g.right_offsets_.begin(), g.right_offsets_.end() - 1);
+    for (const Edge& e : edges) g.right_adj_[cursor[e.v]++] = e.u;
+  }
+  return g;
+}
+
+bool BipartiteGraph::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_left() || v >= num_right()) return false;
+  if (LeftDegree(u) <= RightDegree(v)) {
+    auto nbrs = LeftNeighbors(u);
+    return std::binary_search(nbrs.begin(), nbrs.end(), v);
+  }
+  auto nbrs = RightNeighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), u);
+}
+
+BipartiteGraph BipartiteGraph::Swapped() const {
+  BipartiteGraph g;
+  g.left_offsets_ = right_offsets_;
+  g.left_adj_ = right_adj_;
+  g.right_offsets_ = left_offsets_;
+  g.right_adj_ = left_adj_;
+  return g;
+}
+
+BipartiteGraph BipartiteGraph::RelabelRight(
+    const std::vector<VertexId>& perm) const {
+  const size_t n = num_right();
+  PMBE_CHECK_MSG(perm.size() == n, "permutation size %zu != |V| %zu",
+                 perm.size(), n);
+  // inverse[old] = new.
+  std::vector<VertexId> inverse(n, kInvalidVertex);
+  for (size_t i = 0; i < n; ++i) {
+    PMBE_CHECK_MSG(perm[i] < n && inverse[perm[i]] == kInvalidVertex,
+                   "perm is not a permutation at index %zu", i);
+    inverse[perm[i]] = static_cast<VertexId>(i);
+  }
+
+  std::vector<Edge> edges = ToEdges();
+  for (Edge& e : edges) e.v = inverse[e.v];
+  return FromEdges(num_left(), n, std::move(edges));
+}
+
+std::vector<Edge> BipartiteGraph::ToEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(num_edges());
+  for (VertexId u = 0; u < num_left(); ++u) {
+    for (VertexId v : LeftNeighbors(u)) edges.push_back({u, v});
+  }
+  return edges;
+}
+
+size_t BipartiteGraph::MaxLeftDegree() const {
+  size_t best = 0;
+  for (VertexId u = 0; u < num_left(); ++u) best = std::max(best, LeftDegree(u));
+  return best;
+}
+
+size_t BipartiteGraph::MaxRightDegree() const {
+  size_t best = 0;
+  for (VertexId v = 0; v < num_right(); ++v) best = std::max(best, RightDegree(v));
+  return best;
+}
+
+size_t BipartiteGraph::MemoryBytes() const {
+  return left_offsets_.size() * sizeof(uint64_t) +
+         right_offsets_.size() * sizeof(uint64_t) +
+         (left_adj_.size() + right_adj_.size()) * sizeof(VertexId);
+}
+
+std::string BipartiteGraph::Summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "|U|=%zu |V|=%zu |E|=%zu", num_left(),
+                num_right(), num_edges());
+  return buf;
+}
+
+GraphStats ComputeStats(const BipartiteGraph& graph, bool with_two_hop) {
+  GraphStats s;
+  s.num_left = graph.num_left();
+  s.num_right = graph.num_right();
+  s.num_edges = graph.num_edges();
+  s.max_left_degree = graph.MaxLeftDegree();
+  s.max_right_degree = graph.MaxRightDegree();
+  s.avg_left_degree =
+      s.num_left ? static_cast<double>(s.num_edges) / s.num_left : 0.0;
+  s.avg_right_degree =
+      s.num_right ? static_cast<double>(s.num_edges) / s.num_right : 0.0;
+  if (with_two_hop) {
+    s.max_left_two_hop = MaxTwoHopDegreeLeft(graph);
+    s.max_right_two_hop = MaxTwoHopDegreeRight(graph);
+  }
+  return s;
+}
+
+}  // namespace mbe

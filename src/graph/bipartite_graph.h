@@ -1,0 +1,136 @@
+#ifndef PMBE_GRAPH_BIPARTITE_GRAPH_H_
+#define PMBE_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file
+/// The bipartite graph substrate: an immutable compressed-sparse-row (CSR)
+/// representation storing adjacency for BOTH sides, with sorted neighbor
+/// lists. All enumeration algorithms in this library operate on this type.
+///
+/// Conventions:
+///  * The two sides are called "left" (U) and "right" (V).
+///  * Enumeration iterates over the right side; preprocessing can swap the
+///    sides so that the right side is the smaller one (the standard choice
+///    in the MBE literature).
+///  * Vertices on each side are densely numbered 0..n-1. Neighbor lists are
+///    strictly increasing (duplicates removed at build time).
+
+namespace mbe {
+
+/// One undirected edge between left vertex `u` and right vertex `v`.
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// Immutable bipartite graph in dual-CSR form.
+class BipartiteGraph {
+ public:
+  /// Builds a graph from an edge list. Duplicate edges are removed.
+  /// `num_left`/`num_right` give the side cardinalities; every edge must
+  /// satisfy `u < num_left && v < num_right` (checked).
+  static BipartiteGraph FromEdges(size_t num_left, size_t num_right,
+                                  std::vector<Edge> edges);
+
+  /// An empty graph (no vertices, no edges).
+  BipartiteGraph() = default;
+
+  // Copyable and movable: a graph is a value.
+  BipartiteGraph(const BipartiteGraph&) = default;
+  BipartiteGraph& operator=(const BipartiteGraph&) = default;
+  BipartiteGraph(BipartiteGraph&&) = default;
+  BipartiteGraph& operator=(BipartiteGraph&&) = default;
+
+  size_t num_left() const { return left_offsets_.empty() ? 0 : left_offsets_.size() - 1; }
+  size_t num_right() const { return right_offsets_.empty() ? 0 : right_offsets_.size() - 1; }
+  size_t num_edges() const { return right_adj_.size(); }
+
+  /// Sorted neighbors (right-side ids) of left vertex `u`.
+  std::span<const VertexId> LeftNeighbors(VertexId u) const {
+    PMBE_DCHECK(u < num_left());
+    return {left_adj_.data() + left_offsets_[u],
+            left_adj_.data() + left_offsets_[u + 1]};
+  }
+
+  /// Sorted neighbors (left-side ids) of right vertex `v`.
+  std::span<const VertexId> RightNeighbors(VertexId v) const {
+    PMBE_DCHECK(v < num_right());
+    return {right_adj_.data() + right_offsets_[v],
+            right_adj_.data() + right_offsets_[v + 1]};
+  }
+
+  size_t LeftDegree(VertexId u) const {
+    PMBE_DCHECK(u < num_left());
+    return left_offsets_[u + 1] - left_offsets_[u];
+  }
+  size_t RightDegree(VertexId v) const {
+    PMBE_DCHECK(v < num_right());
+    return right_offsets_[v + 1] - right_offsets_[v];
+  }
+
+  /// True if edge (u, v) exists; binary search over the shorter list.
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Returns the graph with left and right sides exchanged.
+  BipartiteGraph Swapped() const;
+
+  /// Returns a copy of this graph with the RIGHT side relabeled:
+  /// new id i corresponds to old id `perm[i]`. Neighbor lists on the left
+  /// side are re-sorted accordingly. `perm` must be a permutation of
+  /// 0..num_right-1 (checked).
+  BipartiteGraph RelabelRight(const std::vector<VertexId>& perm) const;
+
+  /// Returns all edges in (u-major, v-minor) sorted order.
+  std::vector<Edge> ToEdges() const;
+
+  /// Maximum degree over left / right side (0 for an empty side).
+  size_t MaxLeftDegree() const;
+  size_t MaxRightDegree() const;
+
+  /// Total bytes held by the CSR arrays.
+  size_t MemoryBytes() const;
+
+  /// Short human-readable summary ("|U|=.. |V|=.. |E|=..").
+  std::string Summary() const;
+
+  friend bool operator==(const BipartiteGraph&, const BipartiteGraph&) = default;
+
+ private:
+  // offsets have size n+1 (or 0 for a default-constructed graph).
+  std::vector<uint64_t> left_offsets_;
+  std::vector<VertexId> left_adj_;
+  std::vector<uint64_t> right_offsets_;
+  std::vector<VertexId> right_adj_;
+};
+
+/// Statistics the MBE literature reports per dataset (Table 1 shape).
+struct GraphStats {
+  size_t num_left = 0;
+  size_t num_right = 0;
+  size_t num_edges = 0;
+  size_t max_left_degree = 0;    ///< D(U)
+  size_t max_right_degree = 0;   ///< D(V)
+  size_t max_left_two_hop = 0;   ///< D2(U)
+  size_t max_right_two_hop = 0;  ///< D2(V)
+  double avg_left_degree = 0.0;
+  double avg_right_degree = 0.0;
+};
+
+/// Computes dataset statistics. Two-hop degrees are exact (one scan per
+/// vertex over its neighbors' lists) and may take O(sum of wedge counts);
+/// for quick summaries set `with_two_hop=false` to skip them.
+GraphStats ComputeStats(const BipartiteGraph& graph, bool with_two_hop = true);
+
+}  // namespace mbe
+
+#endif  // PMBE_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,144 @@
+#include "graph/graph_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mbe {
+
+namespace {
+
+// Parses one whitespace-separated unsigned integer starting at `pos` in
+// `line`. Returns false when no integer is found.
+bool ParseUint(const std::string& line, size_t* pos, uint64_t* out) {
+  size_t i = *pos;
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+  if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i]))) {
+    return false;
+  }
+  uint64_t value = 0;
+  while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
+    value = value * 10 + static_cast<uint64_t>(line[i] - '0');
+    ++i;
+  }
+  *pos = i;
+  *out = value;
+  return true;
+}
+
+struct ParsedEdges {
+  std::vector<Edge> edges;
+  uint64_t max_u = 0;
+  uint64_t max_v = 0;
+  bool any = false;
+  // Optional "# pmbe L R" header.
+  bool has_header = false;
+  uint64_t header_left = 0;
+  uint64_t header_right = 0;
+};
+
+util::Status ParseLines(std::istream& in, bool one_based, ParsedEdges* out) {
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#' || line[0] == '%') {
+      // Recognize the round-trip header "# pmbe L R".
+      std::istringstream hs(line.substr(1));
+      std::string tag;
+      if (hs >> tag && tag == "pmbe") {
+        uint64_t l = 0, r = 0;
+        if (hs >> l >> r) {
+          out->has_header = true;
+          out->header_left = l;
+          out->header_right = r;
+        }
+      }
+      continue;
+    }
+    size_t pos = 0;
+    uint64_t u = 0, v = 0;
+    if (!ParseUint(line, &pos, &u) || !ParseUint(line, &pos, &v)) {
+      return util::Status::CorruptData("line " + std::to_string(lineno) +
+                                       ": expected 'u v'");
+    }
+    if (one_based) {
+      if (u == 0 || v == 0) {
+        return util::Status::CorruptData("line " + std::to_string(lineno) +
+                                         ": 1-based id is 0");
+      }
+      --u;
+      --v;
+    }
+    if (u > 0xFFFFFFFEULL || v > 0xFFFFFFFEULL) {
+      return util::Status::OutOfRange("line " + std::to_string(lineno) +
+                                      ": vertex id exceeds 32-bit range");
+    }
+    out->edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    out->max_u = std::max(out->max_u, u);
+    out->max_v = std::max(out->max_v, v);
+    out->any = true;
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<BipartiteGraph> BuildFromParsed(ParsedEdges parsed) {
+  size_t num_left = parsed.any ? parsed.max_u + 1 : 0;
+  size_t num_right = parsed.any ? parsed.max_v + 1 : 0;
+  if (parsed.has_header) {
+    if (parsed.header_left < num_left || parsed.header_right < num_right) {
+      return util::Status::CorruptData(
+          "header cardinalities smaller than max edge id");
+    }
+    num_left = parsed.header_left;
+    num_right = parsed.header_right;
+  }
+  return BipartiteGraph::FromEdges(num_left, num_right,
+                                   std::move(parsed.edges));
+}
+
+}  // namespace
+
+util::StatusOr<BipartiteGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  ParsedEdges parsed;
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/false, &parsed));
+  return BuildFromParsed(std::move(parsed));
+}
+
+util::StatusOr<BipartiteGraph> LoadKonect(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return util::Status::NotFound("cannot open " + path);
+  ParsedEdges parsed;
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/true, &parsed));
+  return BuildFromParsed(std::move(parsed));
+}
+
+util::StatusOr<BipartiteGraph> ParseEdgeListText(const std::string& text) {
+  std::istringstream in(text);
+  ParsedEdges parsed;
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/false, &parsed));
+  return BuildFromParsed(std::move(parsed));
+}
+
+util::Status SaveEdgeList(const BipartiteGraph& graph,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot write " + path);
+  out << "# pmbe " << graph.num_left() << " " << graph.num_right() << "\n";
+  for (VertexId u = 0; u < graph.num_left(); ++u) {
+    for (VertexId v : graph.LeftNeighbors(u)) {
+      out << u << " " << v << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return util::Status::IoError("write failed for " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace mbe

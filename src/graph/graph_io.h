@@ -1,0 +1,43 @@
+#ifndef PMBE_GRAPH_GRAPH_IO_H_
+#define PMBE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/bipartite_graph.h"
+#include "util/status.h"
+
+/// \file
+/// Text loaders/writers for bipartite graphs.
+///
+/// Two formats are supported:
+///
+///  1. **Plain edge list** (`.txt`): lines of `u v`, whitespace separated,
+///     `#` or `%` comment lines ignored. Vertex ids are 0-based; the side
+///     cardinalities are `max id + 1` unless a header line
+///     `# pmbe <num_left> <num_right>` is present.
+///  2. **KONECT-style** (`out.*`): the first line is
+///     `% bip unweighted ...` (ignored apart from the leading `%`), and
+///     edges are 1-based `u v [weight [timestamp]]`; weights/timestamps are
+///     ignored and multi-edges collapsed, matching how the MBE literature
+///     preprocesses KONECT datasets.
+
+namespace mbe {
+
+/// Loads a plain 0-based edge list.
+util::StatusOr<BipartiteGraph> LoadEdgeList(const std::string& path);
+
+/// Loads a KONECT-style 1-based edge list.
+util::StatusOr<BipartiteGraph> LoadKonect(const std::string& path);
+
+/// Writes `graph` as a plain edge list with a `# pmbe` header so that the
+/// side cardinalities round-trip even with isolated vertices.
+util::Status SaveEdgeList(const BipartiteGraph& graph,
+                          const std::string& path);
+
+/// Parses edge-list text from a string (same format as LoadEdgeList);
+/// useful in tests.
+util::StatusOr<BipartiteGraph> ParseEdgeListText(const std::string& text);
+
+}  // namespace mbe
+
+#endif  // PMBE_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,94 @@
+#include "graph/reduction.h"
+
+#include <numeric>
+
+namespace mbe {
+
+CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
+  CoreReduction out;
+  if (p <= 1 && q <= 1) {
+    out.graph = graph;
+    out.left_old.resize(graph.num_left());
+    std::iota(out.left_old.begin(), out.left_old.end(), 0);
+    out.right_old.resize(graph.num_right());
+    std::iota(out.right_old.begin(), out.right_old.end(), 0);
+    return out;
+  }
+
+  const size_t nl = graph.num_left();
+  const size_t nr = graph.num_right();
+  std::vector<size_t> left_degree(nl), right_degree(nr);
+  std::vector<uint8_t> left_dead(nl, 0), right_dead(nr, 0);
+  // Worklists of freshly killed vertices whose neighbors need decrementing.
+  std::vector<VertexId> left_queue, right_queue;
+
+  for (VertexId u = 0; u < nl; ++u) {
+    left_degree[u] = graph.LeftDegree(u);
+    if (left_degree[u] < q) {
+      left_dead[u] = 1;
+      left_queue.push_back(u);
+    }
+  }
+  for (VertexId v = 0; v < nr; ++v) {
+    right_degree[v] = graph.RightDegree(v);
+    if (right_degree[v] < p) {
+      right_dead[v] = 1;
+      right_queue.push_back(v);
+    }
+  }
+
+  while (!left_queue.empty() || !right_queue.empty()) {
+    while (!left_queue.empty()) {
+      const VertexId u = left_queue.back();
+      left_queue.pop_back();
+      for (VertexId v : graph.LeftNeighbors(u)) {
+        if (right_dead[v]) continue;
+        if (--right_degree[v] < p) {
+          right_dead[v] = 1;
+          right_queue.push_back(v);
+        }
+      }
+    }
+    while (!right_queue.empty()) {
+      const VertexId v = right_queue.back();
+      right_queue.pop_back();
+      for (VertexId u : graph.RightNeighbors(v)) {
+        if (left_dead[u]) continue;
+        if (--left_degree[u] < q) {
+          left_dead[u] = 1;
+          left_queue.push_back(u);
+        }
+      }
+    }
+  }
+
+  // Dense renumbering of the survivors.
+  std::vector<VertexId> left_new(nl, kInvalidVertex), right_new(nr, kInvalidVertex);
+  for (VertexId u = 0; u < nl; ++u) {
+    if (!left_dead[u]) {
+      left_new[u] = static_cast<VertexId>(out.left_old.size());
+      out.left_old.push_back(u);
+    }
+  }
+  for (VertexId v = 0; v < nr; ++v) {
+    if (!right_dead[v]) {
+      right_new[v] = static_cast<VertexId>(out.right_old.size());
+      out.right_old.push_back(v);
+    }
+  }
+  out.removed_left = nl - out.left_old.size();
+  out.removed_right = nr - out.right_old.size();
+
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < nl; ++u) {
+    if (left_dead[u]) continue;
+    for (VertexId v : graph.LeftNeighbors(u)) {
+      if (!right_dead[v]) edges.push_back({left_new[u], right_new[v]});
+    }
+  }
+  out.graph = BipartiteGraph::FromEdges(out.left_old.size(),
+                                        out.right_old.size(), std::move(edges));
+  return out;
+}
+
+}  // namespace mbe

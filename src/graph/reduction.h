@@ -1,0 +1,37 @@
+#ifndef PMBE_GRAPH_REDUCTION_H_
+#define PMBE_GRAPH_REDUCTION_H_
+
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "util/common.h"
+
+/// \file
+/// (p, q)-core reduction: the standard preprocessing for size-constrained
+/// MBE. A maximal biclique with |L| >= p and |R| >= q only contains left
+/// vertices of degree >= q and right vertices of degree >= p, so peeling
+/// lower-degree vertices to a fixpoint shrinks the graph without losing
+/// any such biclique. On skewed real-world graphs the (p, q)-core for even
+/// small thresholds is dramatically smaller than the input.
+
+namespace mbe {
+
+/// Result of a core reduction: the reduced graph plus id maps back to the
+/// input (new id -> old id, per side). Vertices are renumbered densely.
+struct CoreReduction {
+  BipartiteGraph graph;
+  std::vector<VertexId> left_old;   ///< left_old[new_u] = old u
+  std::vector<VertexId> right_old;  ///< right_old[new_v] = old v
+  size_t removed_left = 0;
+  size_t removed_right = 0;
+};
+
+/// Peels `graph` to its (p, q)-core: iteratively removes left vertices
+/// with fewer than `q` remaining neighbors and right vertices with fewer
+/// than `p`, until a fixpoint. With p <= 1 and q <= 1 the input is
+/// returned unchanged (identity maps). Linear in |V| + |E|.
+CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q);
+
+}  // namespace mbe
+
+#endif  // PMBE_GRAPH_REDUCTION_H_

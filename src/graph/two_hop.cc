@@ -1,0 +1,50 @@
+#include "graph/two_hop.h"
+
+#include <algorithm>
+
+namespace mbe {
+
+void TwoHopScratch::RightTwoHop(const BipartiteGraph& graph, VertexId v,
+                                std::vector<VertexId>* out) {
+  PMBE_DCHECK(mark_.size() >= graph.num_right());
+  out->clear();
+  touched_.clear();
+  for (VertexId u : graph.RightNeighbors(v)) {
+    for (VertexId w : graph.LeftNeighbors(u)) {
+      if (w == v) continue;
+      if (!mark_[w]) {
+        mark_[w] = 1;
+        touched_.push_back(w);
+      }
+    }
+  }
+  out->assign(touched_.begin(), touched_.end());
+  std::sort(out->begin(), out->end());
+  for (VertexId w : touched_) mark_[w] = 0;
+}
+
+namespace {
+
+// Shared implementation: max two-hop degree over the right side of `graph`.
+size_t MaxTwoHopRightImpl(const BipartiteGraph& graph) {
+  TwoHopScratch scratch(graph.num_right());
+  std::vector<VertexId> n2;
+  size_t best = 0;
+  for (VertexId v = 0; v < graph.num_right(); ++v) {
+    scratch.RightTwoHop(graph, v, &n2);
+    best = std::max(best, n2.size());
+  }
+  return best;
+}
+
+}  // namespace
+
+size_t MaxTwoHopDegreeRight(const BipartiteGraph& graph) {
+  return MaxTwoHopRightImpl(graph);
+}
+
+size_t MaxTwoHopDegreeLeft(const BipartiteGraph& graph) {
+  return MaxTwoHopRightImpl(graph.Swapped());
+}
+
+}  // namespace mbe

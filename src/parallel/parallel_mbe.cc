@@ -1,0 +1,44 @@
+#include "parallel/parallel_mbe.h"
+
+#include <mutex>
+#include <vector>
+
+#include "util/common.h"
+
+namespace mbe {
+
+EnumStats ParallelEnumerate(const BipartiteGraph& graph,
+                            const WorkerFactory& factory,
+                            const ParallelOptions& options, ResultSink* sink) {
+  PMBE_CHECK(sink != nullptr);
+  ThreadPool pool(options.threads);
+  const unsigned workers = pool.threads();
+
+  // One worker engine per thread, created lazily on first use so that the
+  // serial path pays for exactly one.
+  std::vector<std::unique_ptr<SubtreeWorker>> engines(workers);
+  std::mutex engines_mu;
+
+  pool.ParallelFor(
+      graph.num_right(), options.scheduling,
+      [&](uint64_t v, unsigned worker_id) {
+        SubtreeWorker* engine = engines[worker_id].get();
+        if (engine == nullptr) {
+          auto fresh = factory();
+          {
+            std::lock_guard<std::mutex> lock(engines_mu);
+            engines[worker_id] = std::move(fresh);
+          }
+          engine = engines[worker_id].get();
+        }
+        engine->EnumerateSubtree(static_cast<VertexId>(v), sink);
+      });
+
+  EnumStats merged;
+  for (const auto& engine : engines) {
+    if (engine) merged.MergeFrom(engine->stats());
+  }
+  return merged;
+}
+
+}  // namespace mbe

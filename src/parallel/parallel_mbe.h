@@ -1,0 +1,53 @@
+#ifndef PMBE_PARALLEL_PARALLEL_MBE_H_
+#define PMBE_PARALLEL_PARALLEL_MBE_H_
+
+#include <functional>
+#include <memory>
+
+#include "core/enum_stats.h"
+#include "core/sink.h"
+#include "graph/bipartite_graph.h"
+#include "parallel/thread_pool.h"
+
+/// \file
+/// The shared-memory parallel MBE driver. It fans the per-vertex subtree
+/// decomposition (core/subtree.h) out over a thread pool; each worker owns
+/// a private enumerator instance (enumerators are single-threaded state)
+/// and all workers share one thread-safe ResultSink.
+///
+/// This plays two roles in the evaluation:
+///  * "ParMBE": parallel iMBEA workers, the CPU-parallel comparison point;
+///  * "MBET xN": parallel prefix-tree workers, for the scalability figure.
+
+namespace mbe {
+
+/// Per-worker enumeration engine: anything that can enumerate one subtree.
+class SubtreeWorker {
+ public:
+  virtual ~SubtreeWorker() = default;
+
+  /// Enumerates the maximal bicliques whose minimum right vertex is `v`.
+  virtual void EnumerateSubtree(VertexId v, ResultSink* sink) = 0;
+
+  /// Counters accumulated by this worker so far.
+  virtual EnumStats stats() const = 0;
+};
+
+/// Factory producing one fresh worker per thread.
+using WorkerFactory = std::function<std::unique_ptr<SubtreeWorker>()>;
+
+/// Configuration of a parallel run.
+struct ParallelOptions {
+  unsigned threads = 1;
+  Scheduling scheduling = Scheduling::kDynamic;
+};
+
+/// Runs the full enumeration of `graph` with `factory`-produced workers.
+/// Returns the merged counters of all workers.
+EnumStats ParallelEnumerate(const BipartiteGraph& graph,
+                            const WorkerFactory& factory,
+                            const ParallelOptions& options, ResultSink* sink);
+
+}  // namespace mbe
+
+#endif  // PMBE_PARALLEL_PARALLEL_MBE_H_

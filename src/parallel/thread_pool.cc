@@ -1,0 +1,47 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace mbe {
+
+ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(1u, threads)) {}
+
+void ThreadPool::ParallelFor(
+    uint64_t n, Scheduling scheduling,
+    const std::function<void(uint64_t, unsigned)>& body) {
+  if (n == 0) return;
+  const unsigned workers = static_cast<unsigned>(
+      std::min<uint64_t>(threads_, n));
+  if (workers == 1) {
+    for (uint64_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  if (scheduling == Scheduling::kDynamic) {
+    std::atomic<uint64_t> next{0};
+    for (unsigned w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w]() {
+        while (true) {
+          const uint64_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          body(i, w);
+        }
+      });
+    }
+  } else {
+    for (unsigned w = 0; w < workers; ++w) {
+      const uint64_t lo = n * w / workers;
+      const uint64_t hi = n * (w + 1) / workers;
+      pool.emplace_back([&, w, lo, hi]() {
+        for (uint64_t i = lo; i < hi; ++i) body(i, w);
+      });
+    }
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace mbe

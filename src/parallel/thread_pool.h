@@ -1,0 +1,51 @@
+#ifndef PMBE_PARALLEL_THREAD_POOL_H_
+#define PMBE_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+/// \file
+/// A small fixed-size thread pool exposing the two scheduling disciplines
+/// the parallel experiments compare:
+///
+///  * **dynamic** — workers repeatedly claim the next index from a shared
+///    atomic counter (fine-grained self-balancing; the CPU analogue of the
+///    shared `processing_v` counter used by GPU MBE work);
+///  * **static** — the index range is pre-split into contiguous blocks,
+///    one per worker, demonstrating the load-imbalance failure mode on
+///    skewed enumeration trees.
+
+namespace mbe {
+
+/// How ParallelFor distributes indices over workers.
+enum class Scheduling {
+  kDynamic,  ///< shared-counter work claiming (self-balancing)
+  kStatic,   ///< contiguous pre-partitioned blocks
+};
+
+/// Fixed-size pool of workers for index-space parallel loops.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (>= 1). The pool spawns threads lazily per
+  /// ParallelFor call; workers are joined before the call returns, so the
+  /// body may reference stack state of the caller.
+  explicit ThreadPool(unsigned threads);
+
+  unsigned threads() const { return threads_; }
+
+  /// Runs `body(index, worker_id)` for every index in [0, n) using the
+  /// given scheduling discipline. Blocks until all indices are processed.
+  /// The body must be thread-safe across distinct worker_ids.
+  void ParallelFor(uint64_t n, Scheduling scheduling,
+                   const std::function<void(uint64_t, unsigned)>& body);
+
+ private:
+  unsigned threads_;
+};
+
+}  // namespace mbe
+
+#endif  // PMBE_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,58 @@
+#ifndef PMBE_UTIL_COMMON_H_
+#define PMBE_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Project-wide fundamental types and checking macros.
+///
+/// The library follows the Google C++ style: no exceptions on hot paths.
+/// Unrecoverable programming errors abort via the CHECK macros below;
+/// recoverable failures (I/O, parsing) return util::Status.
+
+namespace mbe {
+
+/// Identifier of a vertex on either side of the bipartite graph.
+/// Vertices on each side are densely numbered from 0.
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+}  // namespace mbe
+
+/// Aborts with a message when `cond` is false. Enabled in all build modes:
+/// enumeration correctness bugs must never be silently ignored.
+#define PMBE_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PMBE_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// CHECK with a printf-style explanation appended.
+#define PMBE_CHECK_MSG(cond, ...)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "PMBE_CHECK failed at %s:%d: %s: ", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::fprintf(stderr, __VA_ARGS__);                                     \
+      std::fprintf(stderr, "\n");                                            \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Debug-only check, compiled out in release builds (NDEBUG).
+#ifdef NDEBUG
+#define PMBE_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define PMBE_DCHECK(cond) PMBE_CHECK(cond)
+#endif
+
+#endif  // PMBE_UTIL_COMMON_H_

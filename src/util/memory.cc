@@ -1,0 +1,10 @@
+#include "util/memory.h"
+
+namespace mbe::util {
+
+MemoryTracker& GlobalMemoryTracker() {
+  static MemoryTracker* tracker = new MemoryTracker();
+  return *tracker;
+}
+
+}  // namespace mbe::util

@@ -1,0 +1,53 @@
+#ifndef PMBE_UTIL_MEMORY_H_
+#define PMBE_UTIL_MEMORY_H_
+
+#include <atomic>
+#include <cstdint>
+
+/// \file
+/// Lightweight working-set accounting. The enumerators report the bytes
+/// held by their node stacks, candidate arrays, and trie arenas through
+/// this tracker so the memory experiments (T8) can compare peak usage
+/// without OS-level instrumentation.
+
+namespace mbe::util {
+
+/// Tracks a current and peak byte count. Thread-safe; parallel enumeration
+/// workers account into one shared tracker.
+class MemoryTracker {
+ public:
+  /// Records `bytes` newly held.
+  void Add(uint64_t bytes) {
+    uint64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    // Lock-free peak update.
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Records `bytes` released.
+  void Sub(uint64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  uint64_t current() const { return current_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Clears both counters.
+  void Reset() {
+    current_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+};
+
+/// Process-wide tracker used when an enumerator is not given its own.
+MemoryTracker& GlobalMemoryTracker();
+
+}  // namespace mbe::util
+
+#endif  // PMBE_UTIL_MEMORY_H_

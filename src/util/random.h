@@ -1,0 +1,93 @@
+#ifndef PMBE_UTIL_RANDOM_H_
+#define PMBE_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/common.h"
+
+/// \file
+/// Deterministic, fast pseudo-random number generation for the synthetic
+/// graph generators and property tests. We use SplitMix64 for seeding and
+/// xoshiro256** for the stream; both are public-domain algorithms. A fixed
+/// seed always reproduces the same graph on every platform, which the
+/// experiment harness relies on.
+
+namespace mbe::util {
+
+/// SplitMix64 step; used to derive well-distributed seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies (most of) UniformRandomBitGenerator,
+/// but we provide explicit helpers instead of std::uniform_* distributions
+/// because the std distributions are not reproducible across standard
+/// library implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the stream deterministically from `seed`.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next 64 random bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method.
+  uint64_t Below(uint64_t bound) {
+    PMBE_DCHECK(bound > 0);
+    // 128-bit multiply keeps the distribution exactly uniform.
+    while (true) {
+      uint64_t x = Next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t lo = static_cast<uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    PMBE_DCHECK(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace mbe::util
+
+#endif  // PMBE_UTIL_RANDOM_H_

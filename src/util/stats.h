@@ -1,0 +1,55 @@
+#ifndef PMBE_UTIL_STATS_H_
+#define PMBE_UTIL_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Small statistics helpers for the experiment harness: running moments,
+/// percentiles, and human-readable quantity formatting.
+
+namespace mbe::util {
+
+/// Accumulates count/mean/variance/min/max of a stream of doubles
+/// (Welford's online algorithm).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0 <= p <= 100) of `values` using linear
+/// interpolation between closest ranks. `values` is copied and sorted.
+/// Returns 0 for an empty vector.
+double Percentile(std::vector<double> values, double p);
+
+/// Formats a nonnegative quantity with K/M/B suffixes ("12.3M").
+std::string HumanCount(double x);
+
+/// Formats a byte count with KiB/MiB/GiB suffixes.
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats seconds adaptively ("734us", "12.3ms", "4.56s").
+std::string HumanSeconds(double seconds);
+
+}  // namespace mbe::util
+
+#endif  // PMBE_UTIL_STATS_H_

@@ -1,0 +1,114 @@
+#ifndef PMBE_UTIL_STATUS_H_
+#define PMBE_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+/// \file
+/// Minimal Status / StatusOr error-propagation types, in the style of
+/// absl::Status, for fallible operations (file I/O, parsing). Algorithmic
+/// code never fails recoverably and does not use these.
+
+namespace mbe::util {
+
+/// Coarse error category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kCorruptData,
+  kUnimplemented,
+};
+
+/// Returns a stable human-readable name for `code` ("OK", "IO_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with `code` and explanatory `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status CorruptData(std::string m) {
+    return Status(StatusCode::kCorruptData, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (OK).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Constructs from a non-OK status.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PMBE_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; aborting if not OK.
+  const T& value() const& {
+    PMBE_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return value_;
+  }
+  T& value() & {
+    PMBE_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return value_;
+  }
+  T&& value() && {
+    PMBE_CHECK_MSG(ok(), "%s", status_.ToString().c_str());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace mbe::util
+
+/// Propagates a non-OK status to the caller.
+#define PMBE_RETURN_IF_ERROR(expr)                  \
+  do {                                              \
+    ::mbe::util::Status pmbe_status_ = (expr);      \
+    if (!pmbe_status_.ok()) return pmbe_status_;    \
+  } while (0)
+
+#endif  // PMBE_UTIL_STATUS_H_

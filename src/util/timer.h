@@ -1,0 +1,42 @@
+#ifndef PMBE_UTIL_TIMER_H_
+#define PMBE_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Wall-clock timing helpers used by the experiment harness.
+
+namespace mbe::util {
+
+/// Monotonic wall-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or last Reset, in seconds.
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed time in nanoseconds (integer).
+  int64_t Nanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mbe::util
+
+#endif  // PMBE_UTIL_TIMER_H_

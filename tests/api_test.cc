@@ -1,0 +1,148 @@
+// Tests of the facade: id translation under relabeling/swapping, algorithm
+// name round trips, and the verification oracle's own validators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/mbe.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+
+namespace mbe {
+namespace {
+
+TEST(ApiTest, AlgorithmNamesRoundTrip) {
+  for (Algorithm algorithm :
+       {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kMineLmbc,
+        Algorithm::kMbea, Algorithm::kImbea, Algorithm::kOombeaLite}) {
+    // Display names differ from flag names; check parse of flag forms.
+    SUCCEED();
+    (void)algorithm;
+  }
+  EXPECT_EQ(ParseAlgorithm("mbet"), Algorithm::kMbet);
+  EXPECT_EQ(ParseAlgorithm("mbetm"), Algorithm::kMbetM);
+  EXPECT_EQ(ParseAlgorithm("minelmbc"), Algorithm::kMineLmbc);
+  EXPECT_EQ(ParseAlgorithm("mbea"), Algorithm::kMbea);
+  EXPECT_EQ(ParseAlgorithm("imbea"), Algorithm::kImbea);
+  EXPECT_EQ(ParseAlgorithm("oombea"), Algorithm::kOombeaLite);
+}
+
+TEST(ApiDeathTest, UnknownAlgorithmAborts) {
+  EXPECT_DEATH(ParseAlgorithm("quantum"), "unknown algorithm");
+}
+
+TEST(ApiDeathTest, UnsupportedParallelAlgorithmAborts) {
+  BipartiteGraph graph = gen::ErdosRenyi(5, 5, 0.5, 1);
+  Options options;
+  options.algorithm = Algorithm::kMineLmbc;
+  options.threads = 4;
+  CountSink sink;
+  EXPECT_DEATH(Enumerate(graph, options, &sink), "does not support threads");
+}
+
+TEST(ApiTest, EmittedIdsAreOriginalUnderEveryPreprocessing) {
+  // The emitted bicliques must be valid in the *input* graph regardless of
+  // internal relabeling, hub-first ordering, or side swapping.
+  BipartiteGraph graph = gen::PowerLaw(30, 50, 250, 0.8, 0.8, 61);
+  ASSERT_GT(graph.num_right(), graph.num_left());  // triggers auto swap
+  for (bool hub_first : {false, true}) {
+    for (VertexOrder order :
+         {VertexOrder::kNone, VertexOrder::kDegreeAsc, VertexOrder::kRandom}) {
+      Options options;
+      options.hub_first_left = hub_first;
+      options.order = order;
+      options.seed = 3;
+      CollectSink sink;
+      Enumerate(graph, options, &sink);
+      const auto results = sink.TakeSorted();
+      EXPECT_EQ(ValidateResultSet(graph, results), "")
+          << "hub_first=" << hub_first << " order=" << VertexOrderName(order);
+    }
+  }
+}
+
+TEST(ApiTest, AutoSwapOffKeepsOrientationToo) {
+  BipartiteGraph graph = gen::ErdosRenyi(8, 20, 0.3, 62);
+  Options no_swap;
+  no_swap.auto_swap_sides = false;
+  Options swap;
+  swap.auto_swap_sides = true;
+  CollectSink a, b;
+  Enumerate(graph, no_swap, &a);
+  Enumerate(graph, swap, &b);
+  EXPECT_EQ(DiffResultSets(a.TakeSorted(), b.TakeSorted()), "");
+}
+
+TEST(ApiTest, RunResultReportsTimeAndStats) {
+  BipartiteGraph graph = gen::PowerLaw(100, 80, 500, 0.8, 0.8, 63);
+  CountSink sink;
+  RunResult run = Enumerate(graph, Options(), &sink);
+  EXPECT_GE(run.seconds, 0.0);
+  EXPECT_GE(run.preprocess_seconds, 0.0);
+  EXPECT_EQ(run.stats.maximal, sink.count());
+}
+
+TEST(ApiTest, CountHelperAgreesWithCollect) {
+  BipartiteGraph graph = gen::ErdosRenyi(20, 15, 0.25, 64);
+  CollectSink sink;
+  Enumerate(graph, Options(), &sink);
+  EXPECT_EQ(CountMaximalBicliques(graph, Options()),
+            sink.TakeSorted().size());
+}
+
+// --- Verification oracle self-tests ------------------------------------------
+
+TEST(VerifyTest, IsBicliqueChecksEdgesAndShape) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(3, 3, {{0, 0}, {0, 1}, {1, 0}});
+  EXPECT_TRUE(IsBiclique(g, Biclique{{0}, {0, 1}}));
+  EXPECT_TRUE(IsBiclique(g, Biclique{{0, 1}, {0}}));
+  EXPECT_FALSE(IsBiclique(g, Biclique{{0, 1}, {0, 1}}));  // (1,1) missing
+  EXPECT_FALSE(IsBiclique(g, Biclique{{}, {0}}));         // empty side
+  EXPECT_FALSE(IsBiclique(g, Biclique{{0, 0}, {1}}));     // duplicate
+  EXPECT_FALSE(IsBiclique(g, Biclique{{1, 0}, {0}}));     // unsorted
+  EXPECT_FALSE(IsBiclique(g, Biclique{{7}, {0}}));        // out of range
+}
+
+TEST(VerifyTest, IsMaximalBicliqueRejectsExtensible) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(3, 3, {{0, 0}, {0, 1}, {1, 0}});
+  EXPECT_TRUE(IsMaximalBiclique(g, Biclique{{0}, {0, 1}}));
+  EXPECT_TRUE(IsMaximalBiclique(g, Biclique{{0, 1}, {0}}));
+  // ({0}, {0}) extends to ({0}, {0,1}).
+  EXPECT_FALSE(IsMaximalBiclique(g, Biclique{{0}, {0}}));
+}
+
+TEST(VerifyTest, ValidateResultSetFindsProblems) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(3, 3, {{0, 0}, {0, 1}, {1, 0}});
+  const Biclique good{{0}, {0, 1}};
+  EXPECT_EQ(ValidateResultSet(g, {good}), "");
+  EXPECT_NE(ValidateResultSet(g, {good, good}), "");  // duplicate
+  EXPECT_NE(ValidateResultSet(g, {Biclique{{0}, {0}}}), "");  // non-maximal
+}
+
+TEST(VerifyTest, DiffResultSetsPinpointsFirstDifference) {
+  const Biclique a{{0}, {1}};
+  const Biclique b{{1}, {2}};
+  EXPECT_EQ(DiffResultSets({a, b}, {b, a}), "");  // order-insensitive
+  EXPECT_NE(DiffResultSets({a, b}, {a}), "");
+  EXPECT_NE(DiffResultSets({a}, {a, b}), "");
+  const std::string missing = DiffResultSets({a, b}, {a});
+  EXPECT_NE(missing.find("missing"), std::string::npos);
+}
+
+TEST(VerifyTest, BruteForceOnKnownGraph) {
+  // Path u0-v0, u0-v1, u1-v1: maximal bicliques ({0},{0,1}), ({0,1},{1}).
+  BipartiteGraph g = BipartiteGraph::FromEdges(2, 2, {{0, 0}, {0, 1}, {1, 1}});
+  const auto results = BruteForceMbe(g);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], (Biclique{{0}, {0, 1}}));
+  EXPECT_EQ(results[1], (Biclique{{0, 1}, {1}}));
+}
+
+TEST(VerifyDeathTest, BruteForceRefusesHugeRightSide) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(2, 30, {{0, 0}});
+  EXPECT_DEATH(BruteForceMbe(g), "brute force limited");
+}
+
+}  // namespace
+}  // namespace mbe

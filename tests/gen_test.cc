@@ -1,0 +1,148 @@
+// Unit tests for the synthetic generators and the dataset registry:
+// determinism, statistical shape, planted structure, and registry
+// materialization invariants.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/generators.h"
+#include "gen/registry.h"
+
+namespace mbe::gen {
+namespace {
+
+TEST(ErdosRenyiTest, DeterministicInSeed) {
+  BipartiteGraph a = ErdosRenyi(100, 80, 0.05, 7);
+  BipartiteGraph b = ErdosRenyi(100, 80, 0.05, 7);
+  BipartiteGraph c = ErdosRenyi(100, 80, 0.05, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  const size_t nl = 500, nr = 400;
+  const double p = 0.02;
+  BipartiteGraph g = ErdosRenyi(nl, nr, p, 3);
+  const double expected = nl * nr * p;  // 4000
+  const double sigma = std::sqrt(expected * (1 - p));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 6 * sigma);
+}
+
+TEST(ErdosRenyiTest, ExtremesAndDegenerate) {
+  EXPECT_EQ(ErdosRenyi(10, 10, 0.0, 1).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(10, 10, 1.0, 1).num_edges(), 100u);
+  EXPECT_EQ(ErdosRenyi(0, 10, 0.5, 1).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyi(10, 0, 0.5, 1).num_edges(), 0u);
+}
+
+TEST(UniformEdgesTest, ExactEdgeCount) {
+  for (size_t m : {0u, 1u, 100u, 999u}) {
+    BipartiteGraph g = UniformEdges(60, 50, m, 11);
+    EXPECT_EQ(g.num_edges(), m);
+  }
+}
+
+TEST(UniformEdgesTest, FullGraphPossible) {
+  BipartiteGraph g = UniformEdges(8, 8, 64, 2);
+  EXPECT_EQ(g.num_edges(), 64u);
+}
+
+TEST(PowerLawTest, ProducesSkewedDegrees) {
+  BipartiteGraph g = PowerLaw(2000, 1500, 12000, 0.9, 0.9, 5);
+  EXPECT_GT(g.num_edges(), 8000u);  // duplicate collapse loses some
+  // Skew: the max degree should far exceed the average degree.
+  const double avg = static_cast<double>(g.num_edges()) / g.num_right();
+  EXPECT_GT(static_cast<double>(g.MaxRightDegree()), 8 * avg);
+}
+
+TEST(PowerLawTest, FlatExponentIsNotVerySkewed) {
+  BipartiteGraph flat = PowerLaw(2000, 1500, 12000, 0.1, 0.1, 5);
+  BipartiteGraph skew = PowerLaw(2000, 1500, 12000, 1.0, 1.0, 5);
+  EXPECT_LT(flat.MaxRightDegree(), skew.MaxRightDegree());
+}
+
+TEST(PowerLawTest, DeterministicInSeed) {
+  EXPECT_EQ(PowerLaw(100, 100, 500, 0.8, 0.8, 9),
+            PowerLaw(100, 100, 500, 0.8, 0.8, 9));
+  EXPECT_NE(PowerLaw(100, 100, 500, 0.8, 0.8, 9),
+            PowerLaw(100, 100, 500, 0.8, 0.8, 10));
+}
+
+TEST(PlantBicliquesTest, AllPlantedEdgesPresent) {
+  BipartiteGraph base = ErdosRenyi(80, 60, 0.02, 21);
+  std::vector<PlantedBiclique> planted;
+  BipartiteGraph g = PlantBicliques(base, 3, 6, 5, 22, &planted);
+  ASSERT_EQ(planted.size(), 3u);
+  for (const PlantedBiclique& block : planted) {
+    EXPECT_EQ(block.left.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(block.left.begin(), block.left.end()));
+    EXPECT_EQ(std::adjacent_find(block.left.begin(), block.left.end()),
+              block.left.end())
+        << "duplicate planted vertex";
+    for (VertexId u : block.left) {
+      for (VertexId v : block.right) {
+        EXPECT_TRUE(g.HasEdge(u, v)) << "missing planted edge";
+      }
+    }
+  }
+  // Base edges survive.
+  for (const Edge& e : base.ToEdges()) {
+    EXPECT_TRUE(g.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(BlockCommunityTest, BlocksAreDenserThanBackground) {
+  BipartiteGraph g = BlockCommunity(300, 200, 4, 0.5, 0.01, 31);
+  // Count edges inside block 0 vs a cross-block window of the same size.
+  size_t in_block = 0, cross = 0;
+  for (size_t u = 0; u < 75; ++u) {
+    for (size_t v = 0; v < 50; ++v) {
+      in_block += g.HasEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+      cross += g.HasEdge(static_cast<VertexId>(u),
+                         static_cast<VertexId>(v + 100));
+    }
+  }
+  EXPECT_GT(in_block, 10 * std::max<size_t>(cross, 1));
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(RegistryTest, ThirteenDatasetsRegistered) {
+  EXPECT_EQ(AllDatasets().size(), 13u);
+  EXPECT_EQ(FullSuite().size(), 13u);
+  for (const std::string& name : DefaultSuite()) {
+    EXPECT_NO_FATAL_FAILURE(FindDataset(name));
+  }
+}
+
+TEST(RegistryTest, MaterializeAtSmallScaleIsWellFormed) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    BipartiteGraph g = Materialize(spec, 0.05);
+    EXPECT_GT(g.num_edges(), 0u) << spec.name;
+    // Standard preprocessing: right side is the smaller side.
+    EXPECT_LE(g.num_right(), g.num_left()) << spec.name;
+  }
+}
+
+TEST(RegistryTest, MaterializeIsDeterministic) {
+  const DatasetSpec& spec = FindDataset("Mti");
+  EXPECT_EQ(Materialize(spec, 0.1), Materialize(spec, 0.1));
+}
+
+TEST(RegistryTest, ScaleShrinksTheGraph) {
+  const DatasetSpec& spec = FindDataset("WA");
+  BipartiteGraph small = Materialize(spec, 0.05);
+  BipartiteGraph large = Materialize(spec, 0.2);
+  EXPECT_LT(small.num_edges(), large.num_edges());
+  EXPECT_LT(small.num_left() + small.num_right(),
+            large.num_left() + large.num_right());
+}
+
+TEST(RegistryDeathTest, UnknownDatasetAborts) {
+  EXPECT_DEATH(FindDataset("no-such-dataset"), "unknown dataset");
+}
+
+}  // namespace
+}  // namespace mbe::gen

@@ -1,0 +1,154 @@
+// Unit tests for the text loaders/writers: format parsing, headers,
+// comment handling, error reporting, and save/load round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gen/generators.h"
+#include "graph/graph_io.h"
+
+namespace mbe {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(GraphIoTest, ParsePlainEdgeList) {
+  auto result = ParseEdgeListText("0 0\n0 1\n2 1\n");
+  ASSERT_TRUE(result.ok());
+  const BipartiteGraph& g = result.value();
+  EXPECT_EQ(g.num_left(), 3u);
+  EXPECT_EQ(g.num_right(), 2u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(2, 1));
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  auto result = ParseEdgeListText(
+      "# a comment\n% another style\n\n0 0\n\n# trailing\n1 1\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 2u);
+}
+
+TEST(GraphIoTest, HeaderFixesCardinalities) {
+  auto result = ParseEdgeListText("# pmbe 10 20\n0 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_left(), 10u);
+  EXPECT_EQ(result.value().num_right(), 20u);
+}
+
+TEST(GraphIoTest, HeaderSmallerThanEdgesIsCorrupt) {
+  auto result = ParseEdgeListText("# pmbe 1 1\n5 5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+}
+
+TEST(GraphIoTest, MalformedLineIsCorrupt) {
+  auto result = ParseEdgeListText("0 0\nnot numbers\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  // The error message names the offending line.
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, MissingSecondColumnIsCorrupt) {
+  auto result = ParseEdgeListText("0\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(GraphIoTest, DuplicateEdgesCollapse) {
+  auto result = ParseEdgeListText("0 0\n0 0\n0 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 1u);
+}
+
+TEST(GraphIoTest, EmptyInputGivesEmptyGraph) {
+  auto result = ParseEdgeListText("# nothing\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_left(), 0u);
+  EXPECT_EQ(result.value().num_edges(), 0u);
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  auto result = LoadEdgeList("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, SaveLoadRoundTrip) {
+  BipartiteGraph g = gen::PowerLaw(30, 20, 120, 0.8, 0.8, 17);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), g);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripPreservesIsolatedVertices) {
+  // Isolated trailing vertices survive only through the header.
+  BipartiteGraph g = BipartiteGraph::FromEdges(5, 8, {{0, 0}});
+  const std::string path = TempPath("isolated.txt");
+  ASSERT_TRUE(SaveEdgeList(g, path).ok());
+  auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_left(), 5u);
+  EXPECT_EQ(loaded.value().num_right(), 8u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, KonectIsOneBased) {
+  const std::string path = TempPath("konect.txt");
+  WriteFile(path, "% bip unweighted\n1 1\n2 3 5 1200000\n");
+  auto result = LoadKonect(path);
+  ASSERT_TRUE(result.ok());
+  const BipartiteGraph& g = result.value();
+  EXPECT_EQ(g.num_left(), 2u);   // max u = 2 -> 0-based id 1
+  EXPECT_EQ(g.num_right(), 3u);  // max v = 3 -> 0-based id 2
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, KonectZeroIdIsCorrupt) {
+  const std::string path = TempPath("konect_bad.txt");
+  WriteFile(path, "0 1\n");
+  auto result = LoadKonect(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, KonectMultiEdgesCollapse) {
+  const std::string path = TempPath("konect_multi.txt");
+  WriteFile(path, "1 1 1 100\n1 1 1 200\n1 1 1 300\n2 2\n");
+  auto result = LoadKonect(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, HugeIdIsOutOfRange) {
+  auto result = ParseEdgeListText("0 18446744073709551615\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(GraphIoTest, SaveToUnwritablePathFails) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(1, 1, {{0, 0}});
+  util::Status status = SaveEdgeList(g, "/nonexistent/dir/out.txt");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace mbe

@@ -1,0 +1,217 @@
+// Unit tests for the bipartite graph substrate: construction, adjacency,
+// relabeling, side swap, statistics, and two-hop neighborhoods.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gen/generators.h"
+#include "graph/bipartite_graph.h"
+#include "graph/two_hop.h"
+#include "util/random.h"
+
+namespace mbe {
+namespace {
+
+BipartiteGraph SampleGraph() {
+  // u0-{v0,v1}, u1-{v1,v2}, u2-{}, u3-{v0,v1,v2,v3}
+  return BipartiteGraph::FromEdges(
+      4, 4, {{0, 0}, {0, 1}, {1, 1}, {1, 2}, {3, 0}, {3, 1}, {3, 2}, {3, 3}});
+}
+
+TEST(BipartiteGraphTest, BasicProperties) {
+  BipartiteGraph g = SampleGraph();
+  EXPECT_EQ(g.num_left(), 4u);
+  EXPECT_EQ(g.num_right(), 4u);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.LeftDegree(0), 2u);
+  EXPECT_EQ(g.LeftDegree(2), 0u);
+  EXPECT_EQ(g.RightDegree(1), 3u);
+  EXPECT_EQ(g.MaxLeftDegree(), 4u);
+  EXPECT_EQ(g.MaxRightDegree(), 3u);
+}
+
+TEST(BipartiteGraphTest, NeighborListsAreSortedAndCorrect) {
+  BipartiteGraph g = SampleGraph();
+  auto n0 = g.LeftNeighbors(3);
+  EXPECT_TRUE(std::is_sorted(n0.begin(), n0.end()));
+  EXPECT_EQ(std::vector<VertexId>(n0.begin(), n0.end()),
+            (std::vector<VertexId>{0, 1, 2, 3}));
+  auto r1 = g.RightNeighbors(1);
+  EXPECT_EQ(std::vector<VertexId>(r1.begin(), r1.end()),
+            (std::vector<VertexId>{0, 1, 3}));
+}
+
+TEST(BipartiteGraphTest, DuplicateEdgesCollapse) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(
+      2, 2, {{0, 0}, {0, 0}, {0, 0}, {1, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.LeftDegree(0), 1u);
+}
+
+TEST(BipartiteGraphTest, HasEdge) {
+  BipartiteGraph g = SampleGraph();
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(3, 3));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  EXPECT_FALSE(g.HasEdge(99, 0));
+  EXPECT_FALSE(g.HasEdge(0, 99));
+}
+
+TEST(BipartiteGraphTest, SwappedTransposesAdjacency) {
+  BipartiteGraph g = SampleGraph();
+  BipartiteGraph s = g.Swapped();
+  EXPECT_EQ(s.num_left(), g.num_right());
+  EXPECT_EQ(s.num_right(), g.num_left());
+  EXPECT_EQ(s.num_edges(), g.num_edges());
+  for (VertexId u = 0; u < g.num_left(); ++u) {
+    for (VertexId v = 0; v < g.num_right(); ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), s.HasEdge(v, u));
+    }
+  }
+  EXPECT_EQ(s.Swapped(), g);
+}
+
+TEST(BipartiteGraphTest, ToEdgesRoundTrips) {
+  BipartiteGraph g = gen::ErdosRenyi(20, 30, 0.2, 42);
+  BipartiteGraph rebuilt =
+      BipartiteGraph::FromEdges(g.num_left(), g.num_right(), g.ToEdges());
+  EXPECT_EQ(g, rebuilt);
+}
+
+TEST(BipartiteGraphTest, RelabelRightPermutesAdjacency) {
+  BipartiteGraph g = SampleGraph();
+  // perm[i] = old id of new i: reverse order.
+  std::vector<VertexId> perm = {3, 2, 1, 0};
+  BipartiteGraph r = g.RelabelRight(perm);
+  for (VertexId u = 0; u < g.num_left(); ++u) {
+    for (VertexId nv = 0; nv < g.num_right(); ++nv) {
+      EXPECT_EQ(r.HasEdge(u, nv), g.HasEdge(u, perm[nv]))
+          << "u=" << u << " new=" << nv;
+    }
+  }
+}
+
+TEST(BipartiteGraphTest, RelabelIdentityIsNoop) {
+  BipartiteGraph g = gen::ErdosRenyi(15, 12, 0.3, 7);
+  std::vector<VertexId> identity(g.num_right());
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(g.RelabelRight(identity), g);
+}
+
+TEST(BipartiteGraphTest, RelabelRandomPermutationPreservesDegrees) {
+  BipartiteGraph g = gen::PowerLaw(40, 25, 200, 0.8, 0.8, 3);
+  std::vector<VertexId> perm(g.num_right());
+  std::iota(perm.begin(), perm.end(), 0);
+  util::Rng rng(5);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[rng.Below(i)]);
+  }
+  BipartiteGraph r = g.RelabelRight(perm);
+  EXPECT_EQ(r.num_edges(), g.num_edges());
+  for (VertexId nv = 0; nv < r.num_right(); ++nv) {
+    EXPECT_EQ(r.RightDegree(nv), g.RightDegree(perm[nv]));
+  }
+}
+
+TEST(BipartiteGraphTest, EmptyAndDegenerate) {
+  BipartiteGraph empty;
+  EXPECT_EQ(empty.num_left(), 0u);
+  EXPECT_EQ(empty.num_right(), 0u);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  EXPECT_EQ(empty.MaxLeftDegree(), 0u);
+
+  BipartiteGraph no_edges = BipartiteGraph::FromEdges(3, 4, {});
+  EXPECT_EQ(no_edges.num_left(), 3u);
+  EXPECT_EQ(no_edges.LeftDegree(2), 0u);
+  EXPECT_TRUE(no_edges.LeftNeighbors(0).empty());
+}
+
+TEST(BipartiteGraphTest, SummaryAndMemory) {
+  BipartiteGraph g = SampleGraph();
+  EXPECT_EQ(g.Summary(), "|U|=4 |V|=4 |E|=8");
+  EXPECT_GT(g.MemoryBytes(), 0u);
+}
+
+// --- Statistics ------------------------------------------------------------
+
+TEST(GraphStatsTest, MatchesHandComputedValues) {
+  BipartiteGraph g = SampleGraph();
+  GraphStats s = ComputeStats(g, /*with_two_hop=*/true);
+  EXPECT_EQ(s.num_left, 4u);
+  EXPECT_EQ(s.num_edges, 8u);
+  EXPECT_EQ(s.max_left_degree, 4u);
+  EXPECT_EQ(s.max_right_degree, 3u);
+  // u3 sees v0..v3, whose neighbors are {u0,u1,u3}: N2(u3) = {u0,u1}.
+  // u0 sees v0,v1 -> neighbors {u0,u1,u3}: N2(u0) = {u1,u3}. Max is 2.
+  EXPECT_EQ(s.max_left_two_hop, 2u);
+  // v1 sees u0,u1,u3 -> their neighborhoods cover v0..v3: N2(v1) = 3.
+  EXPECT_EQ(s.max_right_two_hop, 3u);
+  EXPECT_DOUBLE_EQ(s.avg_left_degree, 2.0);
+}
+
+TEST(GraphStatsTest, SkipTwoHop) {
+  GraphStats s = ComputeStats(SampleGraph(), /*with_two_hop=*/false);
+  EXPECT_EQ(s.max_left_two_hop, 0u);
+  EXPECT_EQ(s.max_right_two_hop, 0u);
+}
+
+// --- Two-hop neighborhoods --------------------------------------------------
+
+TEST(TwoHopTest, MatchesBruteForce) {
+  BipartiteGraph g = gen::ErdosRenyi(25, 20, 0.15, 11);
+  TwoHopScratch scratch(g.num_right());
+  std::vector<VertexId> got;
+  for (VertexId v = 0; v < g.num_right(); ++v) {
+    scratch.RightTwoHop(g, v, &got);
+    // Brute force: all w != v sharing a left neighbor.
+    std::vector<VertexId> want;
+    for (VertexId w = 0; w < g.num_right(); ++w) {
+      if (w == v) continue;
+      bool shares = false;
+      for (VertexId u = 0; u < g.num_left(); ++u) {
+        if (g.HasEdge(u, v) && g.HasEdge(u, w)) {
+          shares = true;
+          break;
+        }
+      }
+      if (shares) want.push_back(w);
+    }
+    EXPECT_EQ(got, want) << "v=" << v;
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  }
+}
+
+TEST(TwoHopTest, ScratchIsReusable) {
+  BipartiteGraph g = gen::ErdosRenyi(15, 15, 0.3, 12);
+  TwoHopScratch scratch(g.num_right());
+  std::vector<VertexId> first, second;
+  scratch.RightTwoHop(g, 0, &first);
+  scratch.RightTwoHop(g, 5, &second);
+  std::vector<VertexId> again;
+  scratch.RightTwoHop(g, 0, &again);
+  EXPECT_EQ(first, again);
+}
+
+TEST(TwoHopTest, IsolatedVertexHasEmptyTwoHop) {
+  BipartiteGraph g = BipartiteGraph::FromEdges(3, 3, {{0, 0}, {1, 1}});
+  TwoHopScratch scratch(3);
+  std::vector<VertexId> out;
+  scratch.RightTwoHop(g, 2, &out);
+  EXPECT_TRUE(out.empty());
+  // v0 and v1 do not share neighbors either.
+  scratch.RightTwoHop(g, 0, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TwoHopTest, MaxTwoHopDegreeBothSides) {
+  BipartiteGraph g = SampleGraph();
+  EXPECT_EQ(MaxTwoHopDegreeLeft(g), 2u);
+  EXPECT_EQ(MaxTwoHopDegreeRight(g), 3u);
+}
+
+}  // namespace
+}  // namespace mbe

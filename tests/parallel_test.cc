@@ -1,0 +1,158 @@
+// Unit tests for the thread pool and the parallel enumeration driver.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "api/mbe.h"
+#include "core/mbet.h"
+#include "gen/generators.h"
+#include "parallel/parallel_mbe.h"
+#include "parallel/thread_pool.h"
+
+namespace mbe {
+namespace {
+
+class ThreadPoolTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, Scheduling>> {};
+
+TEST_P(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+  const auto [threads, scheduling] = GetParam();
+  ThreadPool pool(threads);
+  constexpr uint64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, scheduling, [&](uint64_t i, unsigned worker) {
+    ASSERT_LT(worker, pool.threads());
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ThreadPoolTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 7u),
+                       ::testing::Values(Scheduling::kDynamic,
+                                         Scheduling::kStatic)));
+
+TEST(ThreadPoolBasicTest, ZeroIterationsIsNoop) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, Scheduling::kDynamic,
+                   [&](uint64_t, unsigned) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolBasicTest, ClampsToAtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(ThreadPoolBasicTest, MoreThreadsThanWork) {
+  ThreadPool pool(16);
+  std::atomic<int> count{0};
+  pool.ParallelFor(3, Scheduling::kDynamic,
+                   [&](uint64_t, unsigned) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPoolBasicTest, StaticBlocksAreContiguousPerWorker) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::vector<uint64_t>> by_worker(3);
+  pool.ParallelFor(30, Scheduling::kStatic, [&](uint64_t i, unsigned w) {
+    std::lock_guard<std::mutex> lock(mu);
+    by_worker[w].push_back(i);
+  });
+  for (const auto& indices : by_worker) {
+    for (size_t k = 1; k < indices.size(); ++k) {
+      EXPECT_EQ(indices[k], indices[k - 1] + 1) << "non-contiguous block";
+    }
+  }
+}
+
+// --- ParallelEnumerate --------------------------------------------------------
+
+class CountingWorker : public SubtreeWorker {
+ public:
+  explicit CountingWorker(const BipartiteGraph& graph,
+                          std::atomic<int>* created = nullptr)
+      : engine_(graph, MbetOptions{}) {
+    if (created != nullptr) created->fetch_add(1);
+  }
+  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
+    engine_.EnumerateSubtree(v, sink);
+  }
+  EnumStats stats() const override { return engine_.stats(); }
+
+ private:
+  MbetEnumerator engine_;
+};
+
+TEST(ParallelEnumerateTest, MergesStatsAcrossWorkers) {
+  BipartiteGraph graph = gen::PowerLaw(150, 100, 800, 0.8, 0.8, 44);
+
+  // Serial reference.
+  CountSink serial_sink;
+  MbetEnumerator serial(graph, MbetOptions{});
+  serial.EnumerateAll(&serial_sink);
+
+  std::atomic<int> created{0};
+  ParallelOptions options;
+  options.threads = 4;
+  CountSink parallel_sink;
+  EnumStats merged = ParallelEnumerate(
+      graph,
+      [&graph, &created]() {
+        return std::make_unique<CountingWorker>(graph, &created);
+      },
+      options, &parallel_sink);
+
+  EXPECT_EQ(parallel_sink.count(), serial_sink.count());
+  EXPECT_EQ(merged.maximal, serial.stats().maximal);
+  EXPECT_EQ(merged.nodes_expanded, serial.stats().nodes_expanded);
+  EXPECT_EQ(merged.non_maximal, serial.stats().non_maximal);
+  EXPECT_GE(created.load(), 1);
+  EXPECT_LE(created.load(), 4);
+}
+
+TEST(ParallelEnumerateTest, EmptyGraph) {
+  BipartiteGraph graph;
+  ParallelOptions options;
+  options.threads = 4;
+  CountSink sink;
+  EnumStats stats = ParallelEnumerate(
+      graph,
+      [&graph]() {
+        return std::make_unique<CountingWorker>(graph);
+      },
+      options, &sink);
+  EXPECT_EQ(sink.count(), 0u);
+  EXPECT_EQ(stats.maximal, 0u);
+}
+
+TEST(ParallelEnumerateTest, StopRequestHaltsWorkers) {
+  BipartiteGraph graph = gen::PowerLaw(300, 200, 2000, 0.85, 0.8, 45);
+  CountSink inner;
+  BudgetSink budget(&inner, /*max_results=*/100, /*deadline_seconds=*/0);
+  ParallelOptions options;
+  options.threads = 4;
+  ParallelEnumerate(
+      graph,
+      [&graph]() {
+        return std::make_unique<CountingWorker>(graph);
+      },
+      options, &budget);
+  // Workers poll ShouldStop between nodes; some overshoot is expected but
+  // the run must terminate far short of the full result set.
+  const uint64_t full = CountMaximalBicliques(graph, Options());
+  EXPECT_GE(budget.emitted(), 100u);
+  EXPECT_LT(budget.emitted(), full);
+}
+
+}  // namespace
+}  // namespace mbe

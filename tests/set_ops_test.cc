@@ -1,0 +1,217 @@
+// Unit and property tests for the sorted-set kernels, including the
+// galloping path taken on lopsided operand sizes and the membership-mask
+// operations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/set_ops.h"
+#include "util/random.h"
+
+namespace mbe {
+namespace {
+
+std::vector<VertexId> RandomSorted(size_t max_len, size_t universe,
+                                   util::Rng& rng) {
+  std::set<VertexId> s;
+  const size_t len = rng.Below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    s.insert(static_cast<VertexId>(rng.Below(universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+std::vector<VertexId> RefIntersect(const std::vector<VertexId>& a,
+                                   const std::vector<VertexId>& b) {
+  std::vector<VertexId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// --- Hand-written cases ------------------------------------------------------
+
+TEST(SetOpsTest, IntersectBasic) {
+  std::vector<VertexId> a = {1, 3, 5, 7};
+  std::vector<VertexId> b = {3, 4, 5, 8};
+  std::vector<VertexId> out;
+  Intersect(a, b, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{3, 5}));
+  EXPECT_EQ(IntersectSize(a, b), 2u);
+}
+
+TEST(SetOpsTest, IntersectEmptyAndDisjoint) {
+  std::vector<VertexId> a = {1, 2};
+  std::vector<VertexId> empty;
+  std::vector<VertexId> out;
+  Intersect(a, empty, &out);
+  EXPECT_TRUE(out.empty());
+  Intersect(empty, a, &out);
+  EXPECT_TRUE(out.empty());
+  std::vector<VertexId> b = {3, 4};
+  Intersect(a, b, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(IntersectSize(a, b), 0u);
+}
+
+TEST(SetOpsTest, IntersectSizeCappedStopsEarly) {
+  std::vector<VertexId> a = {1, 2, 3, 4, 5};
+  std::vector<VertexId> b = {1, 2, 3, 4, 5};
+  EXPECT_EQ(IntersectSizeCapped(a, b, 2), 2u);
+  EXPECT_EQ(IntersectSizeCapped(a, b, 100), 5u);
+  EXPECT_EQ(IntersectSizeCapped(a, b, 5), 5u);
+}
+
+TEST(SetOpsTest, IsSubset) {
+  EXPECT_TRUE(IsSubset(std::vector<VertexId>{2, 4},
+                       std::vector<VertexId>{1, 2, 3, 4}));
+  EXPECT_FALSE(IsSubset(std::vector<VertexId>{2, 5},
+                        std::vector<VertexId>{1, 2, 3, 4}));
+  EXPECT_TRUE(IsSubset(std::vector<VertexId>{}, std::vector<VertexId>{1}));
+  EXPECT_FALSE(IsSubset(std::vector<VertexId>{1}, std::vector<VertexId>{}));
+}
+
+TEST(SetOpsTest, UnionAndDifference) {
+  std::vector<VertexId> a = {1, 3, 5};
+  std::vector<VertexId> b = {2, 3, 6};
+  std::vector<VertexId> out;
+  Union(a, b, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{1, 2, 3, 5, 6}));
+  Difference(a, b, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{1, 5}));
+  Difference(b, a, &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{2, 6}));
+}
+
+TEST(SetOpsTest, Contains) {
+  std::vector<VertexId> a = {2, 4, 9};
+  EXPECT_TRUE(Contains(a, 4));
+  EXPECT_FALSE(Contains(a, 5));
+  EXPECT_FALSE(Contains(std::vector<VertexId>{}, 1));
+}
+
+// --- Property sweep vs the standard library ---------------------------------
+
+class SetOpsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SetOpsPropertyTest, AgreesWithStdOnRandomSets) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 200; ++round) {
+    const size_t universe = 1 + rng.Below(300);
+    auto a = RandomSorted(60, universe, rng);
+    auto b = RandomSorted(60, universe, rng);
+
+    std::vector<VertexId> got;
+    Intersect(a, b, &got);
+    EXPECT_EQ(got, RefIntersect(a, b));
+    EXPECT_EQ(IntersectSize(a, b), RefIntersect(a, b).size());
+
+    std::vector<VertexId> want_union;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(want_union));
+    Union(a, b, &got);
+    EXPECT_EQ(got, want_union);
+
+    std::vector<VertexId> want_diff;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(want_diff));
+    Difference(a, b, &got);
+    EXPECT_EQ(got, want_diff);
+  }
+}
+
+TEST_P(SetOpsPropertyTest, GallopingPathMatchesMerge) {
+  util::Rng rng(GetParam() * 31);
+  for (int round = 0; round < 50; ++round) {
+    // Force the lopsided regime (ratio >= 32).
+    auto small = RandomSorted(8, 100000, rng);
+    auto big = RandomSorted(4000, 100000, rng);
+    while (!small.empty() && big.size() / small.size() < 64) small.pop_back();
+    std::vector<VertexId> got;
+    Intersect(small, big, &got);
+    EXPECT_EQ(got, RefIntersect(small, big));
+    Intersect(big, small, &got);  // symmetric entry point
+    EXPECT_EQ(got, RefIntersect(small, big));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetOpsPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// --- MembershipMask ----------------------------------------------------------
+
+TEST(MembershipMaskTest, SetTestClear) {
+  MembershipMask mask(10);
+  std::vector<VertexId> s = {1, 4, 7};
+  mask.Set(s);
+  EXPECT_TRUE(mask.Test(1));
+  EXPECT_TRUE(mask.Test(7));
+  EXPECT_FALSE(mask.Test(0));
+  mask.Clear(s);
+  EXPECT_FALSE(mask.Test(1));
+}
+
+TEST(MembershipMaskTest, EnsureUniverseGrows) {
+  MembershipMask mask(2);
+  mask.EnsureUniverse(100);
+  EXPECT_EQ(mask.universe(), 100u);
+  std::vector<VertexId> s = {99};
+  mask.Set(s);
+  EXPECT_TRUE(mask.Test(99));
+  // Shrinking requests are ignored.
+  mask.EnsureUniverse(5);
+  EXPECT_EQ(mask.universe(), 100u);
+}
+
+TEST(MembershipMaskTest, IntersectWithMaskMatchesReference) {
+  util::Rng rng(9);
+  for (int round = 0; round < 100; ++round) {
+    auto a = RandomSorted(50, 200, rng);
+    auto b = RandomSorted(50, 200, rng);
+    MembershipMask mask(200);
+    mask.Set(b);
+    std::vector<VertexId> got;
+    IntersectWithMask(a, mask, &got);
+    EXPECT_EQ(got, RefIntersect(a, b));
+    EXPECT_EQ(IntersectSizeWithMask(a, mask), RefIntersect(a, b).size());
+    mask.Clear(b);
+    EXPECT_EQ(IntersectSizeWithMask(a, mask), 0u);
+  }
+}
+
+// --- HashVertexSpan ----------------------------------------------------------
+
+TEST(HashVertexSpanTest, EqualListsHashEqual) {
+  std::vector<VertexId> a = {1, 2, 3};
+  std::vector<VertexId> b = {1, 2, 3};
+  EXPECT_EQ(HashVertexSpan(a), HashVertexSpan(b));
+}
+
+TEST(HashVertexSpanTest, DistinguishesOrderAndContent) {
+  std::vector<VertexId> a = {1, 2, 3};
+  std::vector<VertexId> b = {3, 2, 1};
+  std::vector<VertexId> c = {1, 2};
+  std::vector<VertexId> d = {1, 2, 4};
+  EXPECT_NE(HashVertexSpan(a), HashVertexSpan(b));
+  EXPECT_NE(HashVertexSpan(a), HashVertexSpan(c));
+  EXPECT_NE(HashVertexSpan(a), HashVertexSpan(d));
+  EXPECT_NE(HashVertexSpan(c), HashVertexSpan(std::vector<VertexId>{}));
+}
+
+TEST(HashVertexSpanTest, LowCollisionRateOnRandomSets) {
+  util::Rng rng(13);
+  std::set<uint64_t> hashes;
+  std::set<std::vector<VertexId>> sets;
+  for (int i = 0; i < 2000; ++i) {
+    auto s = RandomSorted(12, 64, rng);
+    if (sets.insert(s).second) hashes.insert(HashVertexSpan(s));
+  }
+  // Distinct sets must map to (nearly always) distinct hashes.
+  EXPECT_EQ(hashes.size(), sets.size());
+}
+
+}  // namespace
+}  // namespace mbe

@@ -1,0 +1,146 @@
+// Unit tests for the result sinks: counting, collection, callbacks,
+// order-independent fingerprints, and budget-based cancellation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/sink.h"
+
+namespace mbe {
+namespace {
+
+void EmitPair(ResultSink& sink, std::vector<VertexId> l,
+              std::vector<VertexId> r) {
+  sink.Emit(l, r);
+}
+
+TEST(CountSinkTest, CountsAndTotals) {
+  CountSink sink;
+  EmitPair(sink, {1, 2}, {3});
+  EmitPair(sink, {1}, {2, 3, 4});
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.left_total(), 3u);
+  EXPECT_EQ(sink.right_total(), 4u);
+  EXPECT_FALSE(sink.ShouldStop());
+}
+
+TEST(CountSinkTest, ThreadSafeCounting) {
+  CountSink sink;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&sink]() {
+      for (int i = 0; i < 1000; ++i) EmitPair(sink, {1}, {2});
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sink.count(), 4000u);
+}
+
+TEST(CollectSinkTest, CollectsCopiesAndSorts) {
+  CollectSink sink;
+  EmitPair(sink, {5}, {6});
+  EmitPair(sink, {1, 2}, {3});
+  auto results = sink.TakeSorted();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0], (Biclique{{1, 2}, {3}}));
+  EXPECT_EQ(results[1], (Biclique{{5}, {6}}));
+}
+
+TEST(CallbackSinkTest, ForwardsEveryEmission) {
+  int calls = 0;
+  size_t total = 0;
+  CallbackSink sink([&](std::span<const VertexId> l,
+                        std::span<const VertexId> r) {
+    ++calls;
+    total += l.size() + r.size();
+  });
+  EmitPair(sink, {1}, {2, 3});
+  EmitPair(sink, {4, 5}, {6});
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(FingerprintSinkTest, OrderIndependent) {
+  FingerprintSink a, b;
+  EmitPair(a, {1, 2}, {3});
+  EmitPair(a, {4}, {5, 6});
+  EmitPair(a, {7}, {8});
+
+  EmitPair(b, {7}, {8});
+  EmitPair(b, {1, 2}, {3});
+  EmitPair(b, {4}, {5, 6});
+  EXPECT_EQ(a.Digest(), b.Digest());
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(FingerprintSinkTest, DistinguishesDifferentSets) {
+  FingerprintSink a, b;
+  EmitPair(a, {1, 2}, {3});
+  EmitPair(b, {1}, {2, 3});  // same vertices, different split
+  EXPECT_NE(a.Digest(), b.Digest());
+
+  FingerprintSink c, d;
+  EmitPair(c, {1}, {2});
+  EmitPair(d, {1}, {2});
+  EmitPair(d, {1}, {2});  // multiplicity matters
+  EXPECT_NE(c.Digest(), d.Digest());
+}
+
+TEST(BudgetSinkTest, StopsAtMaxResults) {
+  CountSink inner;
+  BudgetSink budget(&inner, /*max_results=*/3, /*deadline_seconds=*/0);
+  EXPECT_FALSE(budget.ShouldStop());
+  EmitPair(budget, {1}, {2});
+  EmitPair(budget, {1}, {2});
+  EXPECT_FALSE(budget.ShouldStop());
+  EmitPair(budget, {1}, {2});
+  EXPECT_TRUE(budget.ShouldStop());
+  EXPECT_EQ(inner.count(), 3u);
+  EXPECT_EQ(budget.emitted(), 3u);
+}
+
+TEST(BudgetSinkTest, StopsAtDeadline) {
+  CountSink inner;
+  BudgetSink budget(&inner, 0, /*deadline_seconds=*/0.02);
+  EXPECT_FALSE(budget.ShouldStop());
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(budget.ShouldStop());
+}
+
+TEST(BudgetSinkTest, UnlimitedNeverStops) {
+  CountSink inner;
+  BudgetSink budget(&inner, 0, 0);
+  for (int i = 0; i < 100; ++i) EmitPair(budget, {1}, {2});
+  EXPECT_FALSE(budget.ShouldStop());
+}
+
+TEST(BudgetSinkTest, PropagatesInnerStop) {
+  // An inner sink that stops immediately.
+  class StopSink : public ResultSink {
+   public:
+    void Emit(std::span<const VertexId>, std::span<const VertexId>) override {}
+    bool ShouldStop() const override { return true; }
+  };
+  StopSink inner;
+  BudgetSink budget(&inner, 0, 0);
+  EXPECT_TRUE(budget.ShouldStop());
+}
+
+TEST(HashBicliqueTest, SideSplitMatters) {
+  std::vector<VertexId> a = {1, 2};
+  std::vector<VertexId> b = {3};
+  std::vector<VertexId> ab = {1, 2, 3};
+  std::vector<VertexId> empty;
+  EXPECT_NE(HashBiclique(a, b), HashBiclique(b, a));
+  EXPECT_NE(HashBiclique(a, b), HashBiclique(ab, empty));
+}
+
+TEST(ToStringTest, RendersBothSides) {
+  Biclique b{{1, 2}, {7}};
+  EXPECT_EQ(ToString(b), "{1,2} x {7}");
+}
+
+}  // namespace
+}  // namespace mbe

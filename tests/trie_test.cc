@@ -1,0 +1,200 @@
+// Unit and property tests for the prefix tree: both builders agree with a
+// direct per-list computation, share prefixes structurally, and keep the
+// preorder invariant the classification scan depends on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/neighborhood_trie.h"
+#include "core/set_ops.h"
+#include "util/random.h"
+
+namespace mbe {
+namespace {
+
+using Lists = std::vector<std::vector<VertexId>>;
+
+std::vector<std::span<const VertexId>> Spans(const Lists& lists) {
+  std::vector<std::span<const VertexId>> spans;
+  spans.reserve(lists.size());
+  for (const auto& l : lists) spans.emplace_back(l);
+  return spans;
+}
+
+std::vector<uint32_t> DirectCounts(const Lists& lists,
+                                   const MembershipMask& mask) {
+  std::vector<uint32_t> counts;
+  for (const auto& l : lists) {
+    counts.push_back(static_cast<uint32_t>(IntersectSizeWithMask(l, mask)));
+  }
+  return counts;
+}
+
+TEST(NeighborhoodTrieTest, HandExample) {
+  // Three lists sharing the prefix {1, 2}.
+  Lists lists = {{1, 2, 5}, {1, 2, 7}, {1, 2}, {9}};
+  NeighborhoodTrie trie;
+  trie.BuildUnordered(Spans(lists));
+  // Nodes: 1, 2, 5, 7, 9 -> 5 (prefix shared once).
+  EXPECT_EQ(trie.num_nodes(), 5u);
+  EXPECT_EQ(trie.num_groups(), 4u);
+  EXPECT_EQ(trie.total_list_length(), 3u + 3u + 2u + 1u);
+
+  MembershipMask mask(16);
+  std::vector<VertexId> members = {1, 5, 9};
+  mask.Set(members);
+  std::vector<uint32_t> counts;
+  const size_t probed = trie.ClassifyAll(mask, &counts);
+  EXPECT_EQ(probed, trie.num_nodes());
+  EXPECT_EQ(counts, (std::vector<uint32_t>{2, 1, 1, 1}));
+}
+
+TEST(NeighborhoodTrieTest, EmptyAndSingletonLists) {
+  Lists lists = {{}, {3}, {}};
+  NeighborhoodTrie trie;
+  trie.BuildUnordered(Spans(lists));
+  EXPECT_EQ(trie.num_nodes(), 1u);
+  MembershipMask mask(8);
+  std::vector<VertexId> members = {3};
+  mask.Set(members);
+  std::vector<uint32_t> counts;
+  trie.ClassifyAll(mask, &counts);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{0, 1, 0}));
+}
+
+TEST(NeighborhoodTrieTest, NoLists) {
+  NeighborhoodTrie trie;
+  trie.BuildUnordered({});
+  EXPECT_EQ(trie.num_nodes(), 0u);
+  MembershipMask mask(4);
+  std::vector<uint32_t> counts = {42};
+  trie.ClassifyAll(mask, &counts);
+  EXPECT_TRUE(counts.empty());
+}
+
+TEST(NeighborhoodTrieTest, IdenticalListsShareEntirePath) {
+  Lists lists = {{2, 4, 6}, {2, 4, 6}, {2, 4, 6}};
+  NeighborhoodTrie trie;
+  trie.BuildUnordered(Spans(lists));
+  EXPECT_EQ(trie.num_nodes(), 3u);  // one path, three chained terminals
+  MembershipMask mask(8);
+  std::vector<VertexId> members = {4, 6};
+  mask.Set(members);
+  std::vector<uint32_t> counts;
+  trie.ClassifyAll(mask, &counts);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{2, 2, 2}));
+}
+
+TEST(NeighborhoodTrieTest, DisjointListsShareNothing) {
+  Lists lists = {{1, 2}, {3, 4}, {5}};
+  NeighborhoodTrie trie;
+  trie.BuildUnordered(Spans(lists));
+  EXPECT_EQ(trie.num_nodes(), 5u);
+}
+
+TEST(NeighborhoodTrieTest, OrderedBuilderAgreesWithUnordered) {
+  util::Rng rng(31);
+  for (int round = 0; round < 50; ++round) {
+    Lists lists;
+    const size_t n = 1 + rng.Below(40);
+    for (size_t i = 0; i < n; ++i) {
+      std::set<VertexId> s;
+      const size_t len = rng.Below(12);
+      for (size_t j = 0; j < len; ++j) {
+        s.insert(static_cast<VertexId>(rng.Below(30)));
+      }
+      lists.emplace_back(s.begin(), s.end());
+    }
+    NeighborhoodTrie ordered, unordered;
+    ordered.Build(Spans(lists));  // sorts lexicographically internally
+    unordered.BuildUnordered(Spans(lists));
+    EXPECT_EQ(ordered.num_nodes(), unordered.num_nodes());
+
+    MembershipMask mask(30);
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < 30; ++v) {
+      if (rng.Chance(0.5)) members.push_back(v);
+    }
+    mask.Set(members);
+    std::vector<uint32_t> a, b;
+    ordered.ClassifyAll(mask, &a);
+    unordered.ClassifyAll(mask, &b);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, DirectCounts(lists, mask));
+    mask.Clear(members);
+  }
+}
+
+class TrieProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrieProperty, ClassifyMatchesDirectOnRandomWorkloads) {
+  util::Rng rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    // Generate lists with a deliberately shared prefix pool to exercise
+    // path sharing.
+    std::vector<VertexId> prefix_pool;
+    for (VertexId v = 0; v < 10; ++v) prefix_pool.push_back(v);
+    Lists lists;
+    const size_t n = 1 + rng.Below(60);
+    for (size_t i = 0; i < n; ++i) {
+      std::set<VertexId> s;
+      const size_t shared = rng.Below(prefix_pool.size());
+      for (size_t j = 0; j < shared; ++j) s.insert(prefix_pool[j]);
+      const size_t extra = rng.Below(8);
+      for (size_t j = 0; j < extra; ++j) {
+        s.insert(static_cast<VertexId>(10 + rng.Below(90)));
+      }
+      lists.emplace_back(s.begin(), s.end());
+    }
+    NeighborhoodTrie trie;
+    trie.BuildUnordered(Spans(lists));
+    // Sharing bound: never more nodes than total length.
+    EXPECT_LE(trie.num_nodes(), trie.total_list_length());
+
+    for (int probe = 0; probe < 5; ++probe) {
+      MembershipMask mask(100);
+      std::vector<VertexId> members;
+      for (VertexId v = 0; v < 100; ++v) {
+        if (rng.Chance(0.4)) members.push_back(v);
+      }
+      mask.Set(members);
+      std::vector<uint32_t> counts;
+      trie.ClassifyAll(mask, &counts);
+      EXPECT_EQ(counts, DirectCounts(lists, mask));
+      mask.Clear(members);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieProperty,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+TEST(NeighborhoodTrieTest, RebuildReusesCleanly) {
+  NeighborhoodTrie trie;
+  Lists first = {{1, 2, 3}, {1, 2, 4}};
+  trie.BuildUnordered(Spans(first));
+  EXPECT_EQ(trie.num_nodes(), 4u);
+  Lists second = {{7}};
+  trie.BuildUnordered(Spans(second));
+  EXPECT_EQ(trie.num_nodes(), 1u);
+  EXPECT_EQ(trie.num_groups(), 1u);
+  MembershipMask mask(8);
+  std::vector<VertexId> members = {7};
+  mask.Set(members);
+  std::vector<uint32_t> counts;
+  trie.ClassifyAll(mask, &counts);
+  EXPECT_EQ(counts, (std::vector<uint32_t>{1}));
+}
+
+TEST(NeighborhoodTrieTest, MemoryBytesTracksArenas) {
+  NeighborhoodTrie trie;
+  EXPECT_EQ(trie.MemoryBytes(), 0u);
+  Lists lists = {{1, 2, 3, 4, 5}};
+  trie.BuildUnordered(Spans(lists));
+  EXPECT_GT(trie.MemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace mbe
