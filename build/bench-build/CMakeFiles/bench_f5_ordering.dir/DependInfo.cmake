@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f5_ordering.cc" "bench-build/CMakeFiles/bench_f5_ordering.dir/bench_f5_ordering.cc.o" "gcc" "bench-build/CMakeFiles/bench_f5_ordering.dir/bench_f5_ordering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/pmbe_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f5_ordering"
+  "../bench/bench_f5_ordering.pdb"
+  "CMakeFiles/bench_f5_ordering.dir/bench_f5_ordering.cc.o"
+  "CMakeFiles/bench_f5_ordering.dir/bench_f5_ordering.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

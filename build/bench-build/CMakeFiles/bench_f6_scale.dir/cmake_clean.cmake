@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f6_scale"
+  "../bench/bench_f6_scale.pdb"
+  "CMakeFiles/bench_f6_scale.dir/bench_f6_scale.cc.o"
+  "CMakeFiles/bench_f6_scale.dir/bench_f6_scale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f7_parallel"
+  "../bench/bench_f7_parallel.pdb"
+  "CMakeFiles/bench_f7_parallel.dir/bench_f7_parallel.cc.o"
+  "CMakeFiles/bench_f7_parallel.dir/bench_f7_parallel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_f9_progress"
+  "../bench/bench_f9_progress.pdb"
+  "CMakeFiles/bench_f9_progress.dir/bench_f9_progress.cc.o"
+  "CMakeFiles/bench_f9_progress.dir/bench_f9_progress.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

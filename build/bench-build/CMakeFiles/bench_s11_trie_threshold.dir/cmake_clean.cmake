@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_s11_trie_threshold"
+  "../bench/bench_s11_trie_threshold.pdb"
+  "CMakeFiles/bench_s11_trie_threshold.dir/bench_s11_trie_threshold.cc.o"
+  "CMakeFiles/bench_s11_trie_threshold.dir/bench_s11_trie_threshold.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s11_trie_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

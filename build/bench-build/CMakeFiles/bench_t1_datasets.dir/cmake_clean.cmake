@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_datasets"
+  "../bench/bench_t1_datasets.pdb"
+  "CMakeFiles/bench_t1_datasets.dir/bench_t1_datasets.cc.o"
+  "CMakeFiles/bench_t1_datasets.dir/bench_t1_datasets.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

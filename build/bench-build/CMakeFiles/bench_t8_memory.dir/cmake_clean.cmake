@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t8_memory"
+  "../bench/bench_t8_memory.pdb"
+  "CMakeFiles/bench_t8_memory.dir/bench_t8_memory.cc.o"
+  "CMakeFiles/bench_t8_memory.dir/bench_t8_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t8_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_bench_common.dir/harness.cc.o"
+  "CMakeFiles/pmbe_bench_common.dir/harness.cc.o.d"
+  "libpmbe_bench_common.a"
+  "libpmbe_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

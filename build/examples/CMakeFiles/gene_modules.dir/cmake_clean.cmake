@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gene_modules.dir/gene_modules.cc.o"
+  "CMakeFiles/gene_modules.dir/gene_modules.cc.o.d"
+  "gene_modules"
+  "gene_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gene_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_groups.dir/recommender_groups.cc.o"
+  "CMakeFiles/recommender_groups.dir/recommender_groups.cc.o.d"
+  "recommender_groups"
+  "recommender_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_api.dir/api/mbe.cc.o"
+  "CMakeFiles/pmbe_api.dir/api/mbe.cc.o.d"
+  "libpmbe_api.a"
+  "libpmbe_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

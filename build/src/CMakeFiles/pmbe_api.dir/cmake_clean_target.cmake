@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpmbe_api.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_baselines.dir/baselines/mbea.cc.o"
+  "CMakeFiles/pmbe_baselines.dir/baselines/mbea.cc.o.d"
+  "CMakeFiles/pmbe_baselines.dir/baselines/mine_lmbc.cc.o"
+  "CMakeFiles/pmbe_baselines.dir/baselines/mine_lmbc.cc.o.d"
+  "CMakeFiles/pmbe_baselines.dir/baselines/oombea_lite.cc.o"
+  "CMakeFiles/pmbe_baselines.dir/baselines/oombea_lite.cc.o.d"
+  "libpmbe_baselines.a"
+  "libpmbe_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

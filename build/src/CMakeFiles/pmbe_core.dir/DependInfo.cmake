@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/mbet.cc" "src/CMakeFiles/pmbe_core.dir/core/mbet.cc.o" "gcc" "src/CMakeFiles/pmbe_core.dir/core/mbet.cc.o.d"
+  "/root/repo/src/core/neighborhood_trie.cc" "src/CMakeFiles/pmbe_core.dir/core/neighborhood_trie.cc.o" "gcc" "src/CMakeFiles/pmbe_core.dir/core/neighborhood_trie.cc.o.d"
+  "/root/repo/src/core/set_ops.cc" "src/CMakeFiles/pmbe_core.dir/core/set_ops.cc.o" "gcc" "src/CMakeFiles/pmbe_core.dir/core/set_ops.cc.o.d"
+  "/root/repo/src/core/sink.cc" "src/CMakeFiles/pmbe_core.dir/core/sink.cc.o" "gcc" "src/CMakeFiles/pmbe_core.dir/core/sink.cc.o.d"
+  "/root/repo/src/core/subtree.cc" "src/CMakeFiles/pmbe_core.dir/core/subtree.cc.o" "gcc" "src/CMakeFiles/pmbe_core.dir/core/subtree.cc.o.d"
+  "/root/repo/src/core/verify.cc" "src/CMakeFiles/pmbe_core.dir/core/verify.cc.o" "gcc" "src/CMakeFiles/pmbe_core.dir/core/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmbe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

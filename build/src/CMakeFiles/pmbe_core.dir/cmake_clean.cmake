@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_core.dir/core/mbet.cc.o"
+  "CMakeFiles/pmbe_core.dir/core/mbet.cc.o.d"
+  "CMakeFiles/pmbe_core.dir/core/neighborhood_trie.cc.o"
+  "CMakeFiles/pmbe_core.dir/core/neighborhood_trie.cc.o.d"
+  "CMakeFiles/pmbe_core.dir/core/set_ops.cc.o"
+  "CMakeFiles/pmbe_core.dir/core/set_ops.cc.o.d"
+  "CMakeFiles/pmbe_core.dir/core/sink.cc.o"
+  "CMakeFiles/pmbe_core.dir/core/sink.cc.o.d"
+  "CMakeFiles/pmbe_core.dir/core/subtree.cc.o"
+  "CMakeFiles/pmbe_core.dir/core/subtree.cc.o.d"
+  "CMakeFiles/pmbe_core.dir/core/verify.cc.o"
+  "CMakeFiles/pmbe_core.dir/core/verify.cc.o.d"
+  "libpmbe_core.a"
+  "libpmbe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_gen.dir/gen/generators.cc.o"
+  "CMakeFiles/pmbe_gen.dir/gen/generators.cc.o.d"
+  "CMakeFiles/pmbe_gen.dir/gen/registry.cc.o"
+  "CMakeFiles/pmbe_gen.dir/gen/registry.cc.o.d"
+  "libpmbe_gen.a"
+  "libpmbe_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_graph.cc" "src/CMakeFiles/pmbe_graph.dir/graph/bipartite_graph.cc.o" "gcc" "src/CMakeFiles/pmbe_graph.dir/graph/bipartite_graph.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/pmbe_graph.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/pmbe_graph.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/ordering.cc" "src/CMakeFiles/pmbe_graph.dir/graph/ordering.cc.o" "gcc" "src/CMakeFiles/pmbe_graph.dir/graph/ordering.cc.o.d"
+  "/root/repo/src/graph/reduction.cc" "src/CMakeFiles/pmbe_graph.dir/graph/reduction.cc.o" "gcc" "src/CMakeFiles/pmbe_graph.dir/graph/reduction.cc.o.d"
+  "/root/repo/src/graph/two_hop.cc" "src/CMakeFiles/pmbe_graph.dir/graph/two_hop.cc.o" "gcc" "src/CMakeFiles/pmbe_graph.dir/graph/two_hop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

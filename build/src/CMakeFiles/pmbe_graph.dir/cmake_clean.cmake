@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_graph.dir/graph/bipartite_graph.cc.o"
+  "CMakeFiles/pmbe_graph.dir/graph/bipartite_graph.cc.o.d"
+  "CMakeFiles/pmbe_graph.dir/graph/graph_io.cc.o"
+  "CMakeFiles/pmbe_graph.dir/graph/graph_io.cc.o.d"
+  "CMakeFiles/pmbe_graph.dir/graph/ordering.cc.o"
+  "CMakeFiles/pmbe_graph.dir/graph/ordering.cc.o.d"
+  "CMakeFiles/pmbe_graph.dir/graph/reduction.cc.o"
+  "CMakeFiles/pmbe_graph.dir/graph/reduction.cc.o.d"
+  "CMakeFiles/pmbe_graph.dir/graph/two_hop.cc.o"
+  "CMakeFiles/pmbe_graph.dir/graph/two_hop.cc.o.d"
+  "libpmbe_graph.a"
+  "libpmbe_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

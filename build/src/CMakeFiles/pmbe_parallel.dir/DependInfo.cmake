@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/parallel_mbe.cc" "src/CMakeFiles/pmbe_parallel.dir/parallel/parallel_mbe.cc.o" "gcc" "src/CMakeFiles/pmbe_parallel.dir/parallel/parallel_mbe.cc.o.d"
+  "/root/repo/src/parallel/thread_pool.cc" "src/CMakeFiles/pmbe_parallel.dir/parallel/thread_pool.cc.o" "gcc" "src/CMakeFiles/pmbe_parallel.dir/parallel/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmbe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

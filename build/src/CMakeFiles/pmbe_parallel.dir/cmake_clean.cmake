@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_parallel.dir/parallel/parallel_mbe.cc.o"
+  "CMakeFiles/pmbe_parallel.dir/parallel/parallel_mbe.cc.o.d"
+  "CMakeFiles/pmbe_parallel.dir/parallel/thread_pool.cc.o"
+  "CMakeFiles/pmbe_parallel.dir/parallel/thread_pool.cc.o.d"
+  "libpmbe_parallel.a"
+  "libpmbe_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

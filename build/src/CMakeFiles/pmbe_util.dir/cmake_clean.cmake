@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_util.dir/util/flags.cc.o"
+  "CMakeFiles/pmbe_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/pmbe_util.dir/util/memory.cc.o"
+  "CMakeFiles/pmbe_util.dir/util/memory.cc.o.d"
+  "CMakeFiles/pmbe_util.dir/util/stats.cc.o"
+  "CMakeFiles/pmbe_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/pmbe_util.dir/util/status.cc.o"
+  "CMakeFiles/pmbe_util.dir/util/status.cc.o.d"
+  "libpmbe_util.a"
+  "libpmbe_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

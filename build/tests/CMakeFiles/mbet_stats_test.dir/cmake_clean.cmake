@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbet_stats_test.dir/mbet_stats_test.cc.o"
+  "CMakeFiles/mbet_stats_test.dir/mbet_stats_test.cc.o.d"
+  "mbet_stats_test"
+  "mbet_stats_test.pdb"
+  "mbet_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbet_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/set_ops_test.cc" "tests/CMakeFiles/set_ops_test.dir/set_ops_test.cc.o" "gcc" "tests/CMakeFiles/set_ops_test.dir/set_ops_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pmbe_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pmbe_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

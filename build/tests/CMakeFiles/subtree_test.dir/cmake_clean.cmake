@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtree_test.dir/subtree_test.cc.o"
+  "CMakeFiles/subtree_test.dir/subtree_test.cc.o.d"
+  "subtree_test"
+  "subtree_test.pdb"
+  "subtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_cli.dir/pmbe_cli.cc.o"
+  "CMakeFiles/pmbe_cli.dir/pmbe_cli.cc.o.d"
+  "pmbe"
+  "pmbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

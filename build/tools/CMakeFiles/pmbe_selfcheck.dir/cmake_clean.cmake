@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmbe_selfcheck.dir/pmbe_selfcheck.cc.o"
+  "CMakeFiles/pmbe_selfcheck.dir/pmbe_selfcheck.cc.o.d"
+  "pmbe_selfcheck"
+  "pmbe_selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmbe_selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
