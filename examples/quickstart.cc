@@ -33,7 +33,18 @@ int main(int argc, char** argv) {
 
   mbe::CollectSink sink;
   mbe::Options options;  // defaults: MBET, degree-ascending order
-  mbe::RunResult run = mbe::Enumerate(graph, options, &sink);
+  options.control.deadline_seconds = 30;  // bound the run; exponential output
+  mbe::RunResult run;
+  if (mbe::util::Status status = mbe::Enumerate(graph, options, &sink, &run);
+      !status.ok()) {
+    std::fprintf(stderr, "enumeration rejected: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  if (!run.complete()) {
+    std::printf("stopped early (%s) — results below are a valid prefix\n",
+                mbe::TerminationName(run.termination));
+  }
 
   const auto results = sink.TakeSorted();
   std::printf("found %zu maximal bicliques in %.3fms:\n", results.size(),

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# check.sh — the CI gate: sanitizer build, full test suite, differential
+# fuzz smoke, and a live run-control proof.
+#
+# Configures a Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
+# builds everything, runs ctest, runs a pmbe_selfcheck smoke (which includes
+# a budget-truncation check every round), and finally drives the CLI against
+# a worst-case dataset with --timeout_s 1 to prove that cooperative
+# cancellation terminates promptly and cleanly under the sanitizers.
+#
+#   scripts/check.sh [build-dir]        # default build dir: build-asan
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-asan}"
+
+SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+
+echo "=== configure ($BUILD_DIR: Debug + ASan/UBSan) ==="
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+
+echo "=== build ==="
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "=== ctest ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "=== selfcheck smoke (differential fuzz + budget truncation) ==="
+"$BUILD_DIR/tools/pmbe_selfcheck" --rounds 25 --seed 1
+
+echo "=== run-control proof: 1s deadline on a worst-case graph ==="
+# GH is a planted-block stand-in whose full enumeration takes far longer
+# than a second even unsanitized; the run must stop on the deadline,
+# report it, and exit 0 with the valid prefix counted.
+for threads in 1 4; do
+  start_ms=$(date +%s%3N)
+  out=$("$BUILD_DIR/tools/pmbe" --dataset GH --timeout_s 1 \
+        --threads "$threads" --stats=false)
+  elapsed_ms=$(( $(date +%s%3N) - start_ms ))
+  echo "$out" | sed "s/^/  [threads=$threads] /"
+  echo "$out" | grep -q "stopped early: deadline" || {
+    echo "FAIL: deadline termination not reported (threads=$threads)" >&2
+    exit 1
+  }
+  # Generous sanitizer headroom; the unsanitized bound is ~1.2s.
+  if (( elapsed_ms > 3000 )); then
+    echo "FAIL: deadline overshoot: ${elapsed_ms}ms (threads=$threads)" >&2
+    exit 1
+  fi
+  echo "  [threads=$threads] stopped in ${elapsed_ms}ms"
+done
+
+echo "=== all checks passed ==="

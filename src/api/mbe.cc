@@ -1,8 +1,10 @@
 #include "api/mbe.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <numeric>
+#include <optional>
 
 #include "baselines/mbea.h"
 #include "baselines/mine_lmbc.h"
@@ -13,15 +15,33 @@
 
 namespace mbe {
 
+util::Status ParseAlgorithm(const std::string& name, Algorithm* algorithm) {
+  PMBE_CHECK(algorithm != nullptr);
+  if (name == "mbet") {
+    *algorithm = Algorithm::kMbet;
+  } else if (name == "mbetm") {
+    *algorithm = Algorithm::kMbetM;
+  } else if (name == "minelmbc") {
+    *algorithm = Algorithm::kMineLmbc;
+  } else if (name == "mbea") {
+    *algorithm = Algorithm::kMbea;
+  } else if (name == "imbea") {
+    *algorithm = Algorithm::kImbea;
+  } else if (name == "oombea") {
+    *algorithm = Algorithm::kOombeaLite;
+  } else {
+    return util::Status::InvalidArgument(
+        "unknown algorithm '" + name +
+        "' (expected mbet | mbetm | minelmbc | mbea | imbea | oombea)");
+  }
+  return util::Status::Ok();
+}
+
 Algorithm ParseAlgorithm(const std::string& name) {
-  if (name == "mbet") return Algorithm::kMbet;
-  if (name == "mbetm") return Algorithm::kMbetM;
-  if (name == "minelmbc") return Algorithm::kMineLmbc;
-  if (name == "mbea") return Algorithm::kMbea;
-  if (name == "imbea") return Algorithm::kImbea;
-  if (name == "oombea") return Algorithm::kOombeaLite;
-  PMBE_CHECK_MSG(false, "unknown algorithm '%s'", name.c_str());
-  return Algorithm::kMbet;
+  Algorithm algorithm = Algorithm::kMbet;
+  const util::Status status = ParseAlgorithm(name, &algorithm);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+  return algorithm;
 }
 
 const char* AlgorithmName(Algorithm algorithm) {
@@ -40,6 +60,51 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "ooMBEA-lite";
   }
   return "?";
+}
+
+namespace {
+
+/// The algorithms the per-vertex subtree decomposition (and hence the
+/// parallel driver) supports.
+bool SupportsParallel(Algorithm algorithm) {
+  return algorithm == Algorithm::kMbet || algorithm == Algorithm::kMbetM ||
+         algorithm == Algorithm::kImbea || algorithm == Algorithm::kOombeaLite;
+}
+
+}  // namespace
+
+util::Status Options::Validate() const {
+  if (threads == 0) {
+    return util::Status::InvalidArgument("threads must be >= 1 (got 0)");
+  }
+  if (threads > 1 && !SupportsParallel(algorithm)) {
+    return util::Status::InvalidArgument(
+        std::string("algorithm ") + AlgorithmName(algorithm) +
+        " does not support threads > 1");
+  }
+  if (mbet.min_left == 0 || mbet.min_right == 0) {
+    return util::Status::InvalidArgument(
+        "mbet.min_left / mbet.min_right are minimum side sizes and must be "
+        ">= 1 (got 0)");
+  }
+  if (mbet.trie_min_groups == 0) {
+    return util::Status::InvalidArgument(
+        "mbet.trie_min_groups must be >= 1 (1 builds a trie everywhere)");
+  }
+  if (threads > 1 && mbet.best_edges != nullptr) {
+    return util::Status::InvalidArgument(
+        "mbet.best_edges (branch-and-bound watermark) is unsynchronized "
+        "state and requires threads == 1");
+  }
+  if (!(control.deadline_seconds >= 0)) {
+    return util::Status::InvalidArgument(
+        "control.deadline_seconds must be >= 0 (0 disables the deadline)");
+  }
+  if (std::isnan(control.progress_every_s)) {
+    return util::Status::InvalidArgument(
+        "control.progress_every_s must not be NaN");
+  }
+  return util::Status::Ok();
 }
 
 namespace {
@@ -82,11 +147,15 @@ class TranslatingSink : public ResultSink {
   bool swapped_;
 };
 
-/// SubtreeWorker adapters.
+/// SubtreeWorker adapters. Each worker engine polls the run's shared
+/// controller (may be null), so any worker tripping a limit stops all.
 class MbetWorker : public SubtreeWorker {
  public:
-  MbetWorker(const BipartiteGraph& graph, const MbetOptions& options)
-      : engine_(graph, options) {}
+  MbetWorker(const BipartiteGraph& graph, const MbetOptions& options,
+             RunController* controller)
+      : engine_(graph, options) {
+    engine_.SetRunController(controller);
+  }
   void EnumerateSubtree(VertexId v, ResultSink* sink) override {
     engine_.EnumerateSubtree(v, sink);
   }
@@ -98,8 +167,10 @@ class MbetWorker : public SubtreeWorker {
 
 class ImbeaWorker : public SubtreeWorker {
  public:
-  explicit ImbeaWorker(const BipartiteGraph& graph)
-      : engine_(graph, MbeaOptions{.improved = true}) {}
+  ImbeaWorker(const BipartiteGraph& graph, RunController* controller)
+      : engine_(graph, MbeaOptions{.improved = true}) {
+    engine_.SetRunController(controller);
+  }
   void EnumerateSubtree(VertexId v, ResultSink* sink) override {
     engine_.EnumerateSubtree(v, sink);
   }
@@ -130,9 +201,12 @@ std::vector<VertexId> HubFirstLeftPerm(const BipartiteGraph& graph) {
 
 }  // namespace
 
-RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
-                    ResultSink* sink) {
-  PMBE_CHECK(sink != nullptr);
+util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
+                       ResultSink* sink, RunResult* out_result) {
+  if (sink == nullptr) {
+    return util::Status::InvalidArgument("sink must not be null");
+  }
+  PMBE_RETURN_IF_ERROR(options.Validate());
   RunResult result;
   util::WallTimer prep_timer;
 
@@ -188,32 +262,42 @@ RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
                              swapped);
   result.preprocess_seconds = prep_timer.Seconds();
 
+  // Run control: one controller shared by every worker of this run,
+  // spliced into the sink chain so emissions count against the result
+  // budget and the stop flag is visible to all existing ShouldStop polls.
+  // Inert control (the default) skips the machinery entirely.
+  std::optional<RunController> controller;
+  std::optional<ControlledSink> controlled;
+  ResultSink* run_sink = &translator;
+  RunController* ctrl = nullptr;
+  if (options.control.active()) {
+    controller.emplace(options.control);
+    ctrl = &*controller;
+    controlled.emplace(&translator, ctrl);
+    run_sink = &*controlled;
+  }
+
   // --- Enumeration -------------------------------------------------------
   util::WallTimer timer;
   if (options.threads > 1) {
-    PMBE_CHECK_MSG(options.algorithm == Algorithm::kMbet ||
-                       options.algorithm == Algorithm::kMbetM ||
-                       options.algorithm == Algorithm::kImbea ||
-                       options.algorithm == Algorithm::kOombeaLite,
-                   "algorithm %s does not support threads > 1",
-                   AlgorithmName(options.algorithm));
     ParallelOptions popts;
     popts.threads = options.threads;
     popts.scheduling = options.scheduling;
+    popts.controller = ctrl;
     WorkerFactory factory;
     if (options.algorithm == Algorithm::kMbet ||
         options.algorithm == Algorithm::kMbetM) {
       MbetOptions mopts = effective.mbet;
       mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
-      factory = [&work, mopts]() -> std::unique_ptr<SubtreeWorker> {
-        return std::make_unique<MbetWorker>(work, mopts);
+      factory = [&work, mopts, ctrl]() -> std::unique_ptr<SubtreeWorker> {
+        return std::make_unique<MbetWorker>(work, mopts, ctrl);
       };
     } else {
-      factory = [&work]() -> std::unique_ptr<SubtreeWorker> {
-        return std::make_unique<ImbeaWorker>(work);
+      factory = [&work, ctrl]() -> std::unique_ptr<SubtreeWorker> {
+        return std::make_unique<ImbeaWorker>(work, ctrl);
       };
     }
-    result.stats = ParallelEnumerate(work, factory, popts, &translator);
+    result.stats = ParallelEnumerate(work, factory, popts, run_sink);
   } else {
     switch (options.algorithm) {
       case Algorithm::kMbet:
@@ -221,37 +305,58 @@ RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
         MbetOptions mopts = effective.mbet;
         mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
         MbetEnumerator engine(work, mopts);
-        engine.EnumerateAll(&translator);
+        engine.SetRunController(ctrl);
+        engine.EnumerateAll(run_sink);
         result.stats = engine.stats();
         break;
       }
       case Algorithm::kMineLmbc: {
         MineLmbcEnumerator engine(work);
-        engine.EnumerateAll(&translator);
+        engine.SetRunController(ctrl);
+        engine.EnumerateAll(run_sink);
         result.stats = engine.stats();
         break;
       }
       case Algorithm::kMbea: {
         MbeaEnumerator engine(work, MbeaOptions{.improved = false});
-        engine.EnumerateAll(&translator);
+        engine.SetRunController(ctrl);
+        engine.EnumerateAll(run_sink);
         result.stats = engine.stats();
         break;
       }
       case Algorithm::kImbea: {
         MbeaEnumerator engine(work, MbeaOptions{.improved = true});
-        engine.EnumerateAll(&translator);
+        engine.SetRunController(ctrl);
+        engine.EnumerateAll(run_sink);
         result.stats = engine.stats();
         break;
       }
       case Algorithm::kOombeaLite: {
         OombeaLiteEnumerator engine(work);
-        engine.EnumerateAll(&translator);
+        engine.SetRunController(ctrl);
+        engine.EnumerateAll(run_sink);
         result.stats = engine.stats();
         break;
       }
     }
   }
   result.seconds = timer.Seconds();
+  if (ctrl != nullptr) {
+    result.termination = ctrl->termination();
+    result.results_emitted = ctrl->results();
+  } else {
+    result.termination = Termination::kComplete;
+    result.results_emitted = result.stats.maximal;
+  }
+  if (out_result != nullptr) *out_result = result;
+  return util::Status::Ok();
+}
+
+RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
+                    ResultSink* sink) {
+  RunResult result;
+  const util::Status status = Enumerate(graph, options, sink, &result);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
   return result;
 }
 
@@ -290,16 +395,31 @@ class BestEdgeSink : public ResultSink {
 
 }  // namespace
 
-Biclique FindMaximumBiclique(const BipartiteGraph& graph,
-                             const Options& options) {
+util::Status FindMaximumBiclique(const BipartiteGraph& graph,
+                                 const Options& options, Biclique* best,
+                                 RunResult* result) {
+  if (best == nullptr) {
+    return util::Status::InvalidArgument("best must not be null");
+  }
   uint64_t watermark = 0;
   Options search = options;
   search.algorithm = Algorithm::kMbet;
   search.threads = 1;  // the watermark is unsynchronized mutable state
   search.mbet.best_edges = &watermark;
   BestEdgeSink sink(&watermark);
-  Enumerate(graph, search, &sink);
-  return sink.Take();
+  // Under run control this is an anytime search: a deadline/budget stop
+  // leaves the best incumbent seen so far in the sink.
+  PMBE_RETURN_IF_ERROR(Enumerate(graph, search, &sink, result));
+  *best = sink.Take();
+  return util::Status::Ok();
+}
+
+Biclique FindMaximumBiclique(const BipartiteGraph& graph,
+                             const Options& options) {
+  Biclique best;
+  const util::Status status = FindMaximumBiclique(graph, options, &best);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+  return best;
 }
 
 }  // namespace mbe

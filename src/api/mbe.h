@@ -5,10 +5,12 @@
 
 #include "core/enum_stats.h"
 #include "core/mbet.h"
+#include "core/run_control.h"
 #include "core/sink.h"
 #include "graph/bipartite_graph.h"
 #include "graph/ordering.h"
 #include "parallel/thread_pool.h"
+#include "util/status.h"
 
 /// \file
 /// The library facade: one call that takes an input bipartite graph, an
@@ -17,13 +19,25 @@
 /// ordering), algorithm selection, optional parallel fan-out — while
 /// translating emitted bicliques back to the caller's original vertex ids.
 ///
-/// Quickstart:
+/// Quickstart (recoverable-error form):
 /// ```
 ///   mbe::CollectSink sink;
 ///   mbe::Options options;                      // defaults: MBET, deg-asc
-///   mbe::RunResult run = mbe::Enumerate(graph, options, &sink);
+///   options.control.deadline_seconds = 10;     // optional run control
+///   mbe::RunResult run;
+///   mbe::util::Status s = mbe::Enumerate(graph, options, &sink, &run);
+///   if (!s.ok()) { /* bad options, not a crash */ }
+///   if (run.termination != mbe::Termination::kComplete) { /* truncated */ }
 ///   for (const mbe::Biclique& b : sink.TakeSorted()) { ... }
 /// ```
+///
+/// Every entry point comes in two forms: a `util::Status`-returning
+/// overload that reports invalid input as a recoverable error, and a thin
+/// legacy shim that aborts on error (kept for callers that treat option
+/// mistakes as programming bugs). Interrupted runs — cancellation,
+/// deadline, budget — are *not* errors: they return OK with
+/// `RunResult::termination` describing why the run stopped, and the sink
+/// holds the valid prefix of results emitted before the stop.
 
 namespace mbe {
 
@@ -37,8 +51,13 @@ enum class Algorithm {
   kOombeaLite,  ///< unilateral order + subtree-local iMBEA
 };
 
-/// Parses "mbet", "mbetm", "minelmbc", "mbea", "imbea", "oombea"; aborts on
-/// unknown names.
+/// Parses "mbet", "mbetm", "minelmbc", "mbea", "imbea", "oombea" into
+/// `*algorithm`; returns InvalidArgument (leaving `*algorithm` untouched)
+/// on unknown names.
+util::Status ParseAlgorithm(const std::string& name, Algorithm* algorithm);
+
+/// Legacy shim: parses like the overload above but aborts on unknown
+/// names. Prefer the Status overload for anything user-facing.
 Algorithm ParseAlgorithm(const std::string& name);
 
 /// Stable display name of an algorithm.
@@ -78,6 +97,16 @@ struct Options {
 
   /// Seed for randomized orders (VertexOrder::kRandom).
   uint64_t seed = 1;
+
+  /// Run control: cooperative cancellation, wall-clock deadline, result /
+  /// node budgets, and periodic progress reporting (core/run_control.h).
+  /// Default-constructed control is inert and costs nothing.
+  RunControl control;
+
+  /// Checks the options for internal consistency: thread count, parallel
+  /// support of the chosen algorithm, size-threshold sanity, run-control
+  /// sanity. OK options never make Enumerate abort.
+  util::Status Validate() const;
 };
 
 /// Outcome of an Enumerate call.
@@ -86,10 +115,31 @@ struct RunResult {
   double seconds = 0;   ///< wall time of the enumeration phase (excludes
                         ///< graph preprocessing)
   double preprocess_seconds = 0;  ///< ordering/relabeling time
+
+  /// Why the run stopped. Anything other than kComplete means the sink
+  /// holds a valid prefix of the full result set (every emitted biclique
+  /// is maximal; some maximal bicliques may be missing).
+  Termination termination = Termination::kComplete;
+
+  /// Bicliques emitted to the caller's sink (equals stats.maximal except
+  /// when a result budget dropped racing emissions in a parallel run).
+  uint64_t results_emitted = 0;
+
+  /// Convenience: did the run enumerate the complete result set?
+  bool complete() const { return termination == Termination::kComplete; }
 };
 
-/// Runs the configured enumeration of `graph` into `sink`. Emitted
-/// bicliques use the caller's original vertex ids and side orientation.
+/// Runs the configured enumeration of `graph` into `sink`, filling
+/// `*result` (which may be null). Emitted bicliques use the caller's
+/// original vertex ids and side orientation. Returns InvalidArgument —
+/// without starting the run — when `sink` is null or `options.Validate()`
+/// fails. Interrupted runs (see Options::control) return OK with
+/// `result->termination` set.
+util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
+                       ResultSink* sink, RunResult* result);
+
+/// Legacy shim: like the Status overload but aborts on invalid options or
+/// a null sink.
 RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
                     ResultSink* sink);
 
@@ -101,9 +151,19 @@ uint64_t CountMaximalBicliques(const BipartiteGraph& graph,
 /// biclique) subject to `options.mbet.min_left` / `min_right`, using MBET
 /// with branch-and-bound pruning (subtrees whose |L| * |R| upper bound
 /// cannot beat the incumbent are skipped). Runs single-threaded — the
-/// pruning watermark is shared mutable state. Returns an empty biclique
+/// pruning watermark is shared mutable state. Yields an empty biclique
 /// when no biclique satisfies the constraints. `options.algorithm` is
 /// ignored (always MBET).
+///
+/// This is an **anytime** search under run control: if the run is
+/// cancelled or hits a deadline/budget, `*best` is the best incumbent
+/// found so far (`result->termination` says the search was truncated, so
+/// the incumbent is a lower bound rather than a proven optimum).
+util::Status FindMaximumBiclique(const BipartiteGraph& graph,
+                                 const Options& options, Biclique* best,
+                                 RunResult* result = nullptr);
+
+/// Legacy shim: aborts on invalid options.
 Biclique FindMaximumBiclique(const BipartiteGraph& graph,
                              const Options& options);
 

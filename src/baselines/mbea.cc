@@ -22,7 +22,7 @@ void MbeaEnumerator::EnumerateAll(ResultSink* sink) {
 }
 
 void MbeaEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
-  if (sink->ShouldStop()) return;
+  if (Stopped(sink)) return;
   bool pruned = false;
   if (!builder_.Build(v, &root_, &root_absorbed_, &pruned)) {
     if (pruned) ++stats_.subtrees_pruned;
@@ -66,7 +66,7 @@ void MbeaEnumerator::Expand(const std::vector<VertexId>& l,
 
   std::vector<VertexId> lp, rp, cp, qp;
   for (size_t i = 0; i < cands.size(); ++i) {
-    if (sink->ShouldStop()) return;
+    if (Stopped(sink)) return;
     const VertexId vc = cands[i];
 
     l_mask_.Set(l);

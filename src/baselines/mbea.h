@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/enum_stats.h"
+#include "core/run_control.h"
 #include "core/set_ops.h"
 #include "core/sink.h"
 #include "core/subtree.h"
@@ -45,14 +46,26 @@ class MbeaEnumerator {
   const EnumStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EnumStats(); }
 
+  /// Attaches run control; polled once per node expansion and candidate
+  /// traversal. Pass nullptr to detach. Call before enumerating.
+  void SetRunController(RunController* controller) {
+    poller_.Attach(controller);
+  }
+
  private:
   void Expand(const std::vector<VertexId>& l, const std::vector<VertexId>& r,
               std::vector<VertexId> cands, std::vector<VertexId> q,
               ResultSink* sink);
 
+  /// Combined cooperative stop poll: run controller, then the sink chain.
+  bool Stopped(ResultSink* sink) {
+    return poller_.ShouldStop(stats_) || sink->ShouldStop();
+  }
+
   const BipartiteGraph& graph_;
   MbeaOptions options_;
   EnumStats stats_;
+  RunPoller poller_;
   MembershipMask l_mask_;
   SubtreeBuilder builder_;
   SubtreeRoot root_;

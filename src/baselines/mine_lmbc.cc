@@ -37,7 +37,7 @@ void MineLmbcEnumerator::Expand(const std::vector<VertexId>& l,
   ++stats_.nodes_expanded;
   std::vector<VertexId> lp, rp, cp, closure;
   for (size_t i = 0; i < cands.size(); ++i) {
-    if (sink->ShouldStop()) return;
+    if (Stopped(sink)) return;
     const VertexId vc = cands[i];
 
     // L' = L ∩ N(vc).

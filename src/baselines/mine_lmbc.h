@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/enum_stats.h"
+#include "core/run_control.h"
 #include "core/set_ops.h"
 #include "core/sink.h"
 #include "graph/bipartite_graph.h"
@@ -28,9 +29,20 @@ class MineLmbcEnumerator {
   const EnumStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EnumStats(); }
 
+  /// Attaches run control; polled once per node expansion and candidate
+  /// traversal. Pass nullptr to detach. Call before enumerating.
+  void SetRunController(RunController* controller) {
+    poller_.Attach(controller);
+  }
+
  private:
   void Expand(const std::vector<VertexId>& l, const std::vector<VertexId>& r,
               const std::vector<VertexId>& cands, ResultSink* sink);
+
+  /// Combined cooperative stop poll: run controller, then the sink chain.
+  bool Stopped(ResultSink* sink) {
+    return poller_.ShouldStop(stats_) || sink->ShouldStop();
+  }
 
   /// C(left) on the right side, computed by intersecting left adjacency
   /// lists (the expensive from-scratch maximality check).
@@ -39,6 +51,7 @@ class MineLmbcEnumerator {
 
   const BipartiteGraph& graph_;
   EnumStats stats_;
+  RunPoller poller_;
   MembershipMask l_mask_;
 };
 

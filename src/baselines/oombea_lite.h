@@ -43,6 +43,11 @@ class OombeaLiteEnumerator {
   const EnumStats& stats() const { return inner_.stats(); }
   void ResetStats() { inner_.ResetStats(); }
 
+  /// Attaches run control to the inner iMBEA engine.
+  void SetRunController(RunController* controller) {
+    inner_.SetRunController(controller);
+  }
+
  private:
   const BipartiteGraph& graph_;
   MbeaEnumerator inner_;

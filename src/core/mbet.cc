@@ -23,13 +23,13 @@ MbetEnumerator::Level& MbetEnumerator::LevelAt(size_t depth) {
 
 void MbetEnumerator::EnumerateAll(ResultSink* sink) {
   for (VertexId v = 0; v < graph_.num_right(); ++v) {
-    if (sink->ShouldStop()) return;
+    if (Stopped(sink)) return;
     EnumerateSubtree(v, sink);
   }
 }
 
 void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
-  if (sink->ShouldStop()) return;
+  if (Stopped(sink)) return;
   // Size filter: every biclique of this subtree has L ⊆ N(v).
   if (graph_.RightDegree(v) < options_.min_left) return;
   bool pruned = false;
@@ -302,7 +302,7 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
 
   std::vector<VertexId> absorbed_members;
   for (uint32_t idx : lvl.order) {
-    if (sink->ShouldStop()) break;
+    if (Stopped(sink)) break;
     Group& g = lvl.groups[idx];
     const uint32_t lp_size = g.loc_len;
     if (lp_size < options_.min_left) {

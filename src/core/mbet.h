@@ -6,6 +6,7 @@
 
 #include "core/enum_stats.h"
 #include "core/neighborhood_trie.h"
+#include "core/run_control.h"
 #include "core/set_ops.h"
 #include "core/sink.h"
 #include "core/subtree.h"
@@ -97,6 +98,13 @@ class MbetEnumerator {
   const EnumStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EnumStats(); }
 
+  /// Attaches run control: the enumerator polls `controller` once per
+  /// node expansion (and per candidate traversal) and stops cooperatively
+  /// when it trips. Pass nullptr to detach. Call before enumerating.
+  void SetRunController(RunController* controller) {
+    poller_.Attach(controller);
+  }
+
  private:
   /// One candidate/forbidden equivalence class at an enumeration node.
   /// Pure metadata: the vertex data lives in the level arenas.
@@ -133,6 +141,11 @@ class MbetEnumerator {
 
   Level& LevelAt(size_t depth);
 
+  /// Combined cooperative stop poll: run controller, then the sink chain.
+  bool Stopped(ResultSink* sink) {
+    return poller_.ShouldStop(stats_) || sink->ShouldStop();
+  }
+
   /// Expands the node stored at `levels_[depth]`.
   void Recurse(size_t depth, ResultSink* sink);
 
@@ -160,6 +173,7 @@ class MbetEnumerator {
   const BipartiteGraph& graph_;
   MbetOptions options_;
   EnumStats stats_;
+  RunPoller poller_;
   SubtreeBuilder builder_;
   MembershipMask lp_mask_;  ///< membership of the current L' over U
   std::vector<std::unique_ptr<Level>> levels_;

@@ -1,0 +1,106 @@
+#include "core/run_control.h"
+
+#include <utility>
+
+#include "util/common.h"
+
+namespace mbe {
+
+const char* TerminationName(Termination termination) {
+  switch (termination) {
+    case Termination::kComplete:
+      return "complete";
+    case Termination::kCancelled:
+      return "cancelled";
+    case Termination::kDeadline:
+      return "deadline";
+    case Termination::kBudget:
+      return "budget";
+  }
+  return "?";
+}
+
+RunController::RunController(const RunControl& spec) : spec_(spec) {
+  if (spec_.progress) {
+    next_progress_s_ = spec_.progress_every_s > 0 ? spec_.progress_every_s : 0;
+  }
+}
+
+void RunController::RequestStop(Termination reason) {
+  bool expected = false;
+  if (stop_.compare_exchange_strong(expected, true,
+                                    std::memory_order_acq_rel)) {
+    reason_.store(static_cast<int>(reason), std::memory_order_relaxed);
+  }
+}
+
+uint32_t RunController::RegisterWorker() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+bool RunController::AdmitEmit() {
+  // Once the run is stopping, nothing more reaches the sink: the emitted
+  // set is exactly the prefix admitted before the stop tripped.
+  if (stop_requested()) return false;
+  const uint64_t n = results_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (spec_.max_results > 0) {
+    if (n > spec_.max_results) {
+      // Lost the race past the budget: undo and drop.
+      results_.fetch_sub(1, std::memory_order_relaxed);
+      RequestStop(Termination::kBudget);
+      return false;
+    }
+    if (n == spec_.max_results) RequestStop(Termination::kBudget);
+  }
+  return true;
+}
+
+bool RunController::Checkpoint(uint32_t slot, const EnumStats& stats) {
+  // Cancellation token first: it is the caller's most urgent signal.
+  if (spec_.cancel != nullptr &&
+      spec_.cancel->load(std::memory_order_relaxed)) {
+    RequestStop(Termination::kCancelled);
+    return true;
+  }
+
+  // Read the clock only when something consumes it.
+  const bool needs_clock = spec_.deadline_seconds > 0 || spec_.progress;
+  const double elapsed = needs_clock ? timer_.Seconds() : 0;
+  if (spec_.deadline_seconds > 0 && elapsed >= spec_.deadline_seconds) {
+    RequestStop(Termination::kDeadline);
+    return true;
+  }
+
+  bool fire_progress = false;
+  RunProgress progress;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PMBE_CHECK(slot < slots_.size());
+    nodes_total_ += stats.nodes_expanded - slots_[slot].nodes_expanded;
+    slots_[slot] = stats;
+    if (spec_.max_nodes_expanded > 0 &&
+        nodes_total_ >= spec_.max_nodes_expanded) {
+      RequestStop(Termination::kBudget);
+      return true;
+    }
+    if (spec_.progress && elapsed >= next_progress_s_) {
+      next_progress_s_ =
+          elapsed + (spec_.progress_every_s > 0 ? spec_.progress_every_s : 0);
+      for (const EnumStats& s : slots_) progress.stats.MergeFrom(s);
+      progress.results = results();
+      progress.elapsed_seconds = elapsed;
+      fire_progress = true;
+    }
+  }
+  // Fire outside mu_ so a slow callback never stalls other workers'
+  // checkpoints; progress_mu_ serializes the callback with itself.
+  if (fire_progress) {
+    std::lock_guard<std::mutex> lock(progress_mu_);
+    spec_.progress(progress);
+  }
+  return stop_requested();
+}
+
+}  // namespace mbe

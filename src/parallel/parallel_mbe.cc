@@ -22,6 +22,12 @@ EnumStats ParallelEnumerate(const BipartiteGraph& graph,
   pool.ParallelFor(
       graph.num_right(), options.scheduling,
       [&](uint64_t v, unsigned worker_id) {
+        // Drain the remaining index space without enumerating once any
+        // worker trips the shared stop flag.
+        if (options.controller != nullptr &&
+            options.controller->stop_requested()) {
+          return;
+        }
         SubtreeWorker* engine = engines[worker_id].get();
         if (engine == nullptr) {
           auto fresh = factory();

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/enum_stats.h"
+#include "core/run_control.h"
 #include "core/sink.h"
 #include "graph/bipartite_graph.h"
 #include "parallel/thread_pool.h"
@@ -40,6 +41,12 @@ using WorkerFactory = std::function<std::unique_ptr<SubtreeWorker>()>;
 struct ParallelOptions {
   unsigned threads = 1;
   Scheduling scheduling = Scheduling::kDynamic;
+
+  /// Shared run controller (may be null). The driver skips unclaimed
+  /// subtrees once its stop flag trips, so the first worker to hit a
+  /// deadline or budget halts the whole fleet; the factory is responsible
+  /// for attaching the same controller to each worker engine it builds.
+  RunController* controller = nullptr;
 };
 
 /// Runs the full enumeration of `graph` with `factory`-produced workers.

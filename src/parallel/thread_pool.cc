@@ -21,8 +21,10 @@ void ThreadPool::ParallelFor(
 
   std::vector<std::thread> pool;
   pool.reserve(workers);
+  // Must outlive the worker threads, which are joined at the end of the
+  // function — not at the end of the dynamic-scheduling branch.
+  std::atomic<uint64_t> next{0};
   if (scheduling == Scheduling::kDynamic) {
-    std::atomic<uint64_t> next{0};
     for (unsigned w = 0; w < workers; ++w) {
       pool.emplace_back([&, w]() {
         while (true) {

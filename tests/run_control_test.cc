@@ -1,0 +1,372 @@
+// Tests of the run-control subsystem: cooperative cancellation, deadlines,
+// result/node budgets, progress reporting, termination reasons across every
+// algorithm (serial and parallel), and Options::Validate rejections.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/mbe.h"
+#include "core/run_control.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+
+namespace mbe {
+namespace {
+
+// Dense enough that every algorithm has far more than a handful of maximal
+// bicliques, small enough that full enumeration (the reference) is fast.
+BipartiteGraph MediumGraph() { return gen::ErdosRenyi(24, 24, 0.4, 7); }
+
+// A generator-produced worst-case graph: dense uniform bipartite graphs
+// have an exponential number of maximal bicliques, so full enumeration is
+// far beyond any test budget — exactly the situation run control exists
+// for.
+BipartiteGraph WorstCaseGraph() { return gen::ErdosRenyi(90, 90, 0.5, 11); }
+
+std::vector<Biclique> ReferenceSet(const BipartiteGraph& graph) {
+  CollectSink sink;
+  Enumerate(graph, Options(), &sink);
+  return sink.TakeSorted();
+}
+
+TEST(TerminationTest, NamesAreStable) {
+  EXPECT_STREQ(TerminationName(Termination::kComplete), "complete");
+  EXPECT_STREQ(TerminationName(Termination::kCancelled), "cancelled");
+  EXPECT_STREQ(TerminationName(Termination::kDeadline), "deadline");
+  EXPECT_STREQ(TerminationName(Termination::kBudget), "budget");
+}
+
+TEST(RunControlTest, InertControlIsInactive) {
+  RunControl control;
+  EXPECT_FALSE(control.active());
+  control.max_results = 10;
+  EXPECT_TRUE(control.active());
+}
+
+TEST(RunControlTest, UncontrolledRunReportsComplete) {
+  CountSink sink;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(MediumGraph(), Options(), &sink, &run).ok());
+  EXPECT_EQ(run.termination, Termination::kComplete);
+  EXPECT_TRUE(run.complete());
+  EXPECT_EQ(run.results_emitted, sink.count());
+}
+
+TEST(RunControlTest, ResultBudgetEmitsExactPrefixOfMaximalBicliques) {
+  const BipartiteGraph graph = MediumGraph();
+  const std::vector<Biclique> reference = ReferenceSet(graph);
+  ASSERT_GE(reference.size(), 20u);
+
+  Options options;
+  options.control.max_results = 10;
+  CollectSink sink;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(graph, options, &sink, &run).ok());
+  EXPECT_EQ(run.termination, Termination::kBudget);
+  EXPECT_EQ(run.results_emitted, 10u);
+
+  // Every emitted biclique is a genuine maximal biclique of the input:
+  // interruption yields a valid prefix, not partial garbage.
+  const std::vector<Biclique> prefix = sink.TakeSorted();
+  ASSERT_EQ(prefix.size(), 10u);
+  for (const Biclique& b : prefix) {
+    EXPECT_TRUE(IsMaximalBiclique(graph, b)) << ToString(b);
+    EXPECT_TRUE(std::binary_search(reference.begin(), reference.end(), b));
+  }
+}
+
+TEST(RunControlTest, ResultBudgetReportedForEveryAlgorithm) {
+  const BipartiteGraph graph = MediumGraph();
+  for (Algorithm algorithm :
+       {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kMineLmbc,
+        Algorithm::kMbea, Algorithm::kImbea, Algorithm::kOombeaLite}) {
+    Options options;
+    options.algorithm = algorithm;
+    if (algorithm == Algorithm::kOombeaLite) {
+      options.order = VertexOrder::kUnilateralAsc;
+    }
+    options.control.max_results = 5;
+    CollectSink sink;
+    RunResult run;
+    ASSERT_TRUE(Enumerate(graph, options, &sink, &run).ok())
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(run.termination, Termination::kBudget)
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(sink.results().size(), 5u) << AlgorithmName(algorithm);
+    for (const Biclique& b : sink.results()) {
+      EXPECT_TRUE(IsMaximalBiclique(graph, b))
+          << AlgorithmName(algorithm) << ": " << ToString(b);
+    }
+  }
+}
+
+TEST(RunControlTest, ResultBudgetStopsAllWorkers) {
+  const BipartiteGraph graph = MediumGraph();
+  Options options;
+  options.threads = 4;
+  options.control.max_results = 8;
+  CollectSink sink;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(graph, options, &sink, &run).ok());
+  EXPECT_EQ(run.termination, Termination::kBudget);
+  // AdmitEmit makes the cap exact even under concurrent emission.
+  EXPECT_EQ(run.results_emitted, 8u);
+  const std::vector<Biclique> prefix = sink.TakeSorted();
+  ASSERT_EQ(prefix.size(), 8u);
+  for (const Biclique& b : prefix) {
+    EXPECT_TRUE(IsMaximalBiclique(graph, b)) << ToString(b);
+  }
+}
+
+TEST(RunControlTest, NodeBudgetTripsOnLargeRuns) {
+  Options options;
+  options.control.max_nodes_expanded = 100;
+  CountSink sink;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(WorstCaseGraph(), options, &sink, &run).ok());
+  EXPECT_EQ(run.termination, Termination::kBudget);
+  // Polling-granular: overshoot is bounded by the stride per worker.
+  EXPECT_LT(run.stats.nodes_expanded, 100 + 2 * RunPoller::kStride);
+}
+
+TEST(RunControlTest, DeadlineStopsWorstCaseRunQuickly) {
+  Options options;
+  options.control.deadline_seconds = 0.2;
+  CountSink sink;
+  RunResult run;
+  util::WallTimer timer;
+  ASSERT_TRUE(Enumerate(WorstCaseGraph(), options, &sink, &run).ok());
+  const double elapsed = timer.Seconds();
+  EXPECT_EQ(run.termination, Termination::kDeadline);
+  // ~1.2x headroom in the acceptance criterion; be generous for CI noise
+  // but still catch a run that ignores the deadline.
+  EXPECT_LT(elapsed, 2.0);
+  EXPECT_GT(sink.count(), 0u);  // the prefix emitted so far is returned
+}
+
+TEST(RunControlTest, DeadlineStopsTheWholeFleet) {
+  Options options;
+  options.threads = 4;
+  options.control.deadline_seconds = 0.2;
+  CountSink sink;
+  RunResult run;
+  util::WallTimer timer;
+  ASSERT_TRUE(Enumerate(WorstCaseGraph(), options, &sink, &run).ok());
+  const double elapsed = timer.Seconds();
+  EXPECT_EQ(run.termination, Termination::kDeadline);
+  EXPECT_LT(elapsed, 2.0);
+}
+
+TEST(RunControlTest, DeadlineReportedForEveryParallelAlgorithm) {
+  for (Algorithm algorithm :
+       {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kImbea,
+        Algorithm::kOombeaLite}) {
+    Options options;
+    options.algorithm = algorithm;
+    options.threads = 4;
+    options.control.deadline_seconds = 0.1;
+    CountSink sink;
+    RunResult run;
+    ASSERT_TRUE(Enumerate(WorstCaseGraph(), options, &sink, &run).ok())
+        << AlgorithmName(algorithm);
+    EXPECT_EQ(run.termination, Termination::kDeadline)
+        << AlgorithmName(algorithm);
+  }
+}
+
+TEST(RunControlTest, PreSetCancellationTokenStopsImmediately) {
+  std::atomic<bool> cancel{true};
+  Options options;
+  options.control.cancel = &cancel;
+  CountSink sink;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(WorstCaseGraph(), options, &sink, &run).ok());
+  EXPECT_EQ(run.termination, Termination::kCancelled);
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(RunControlTest, CancellationMidRunYieldsValidPrefix) {
+  const BipartiteGraph graph = WorstCaseGraph();
+  std::atomic<bool> cancel{false};
+  Options options;
+  options.control.cancel = &cancel;
+  options.threads = 4;
+  CountSink sink;
+  RunResult run;
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cancel.store(true);
+  });
+  ASSERT_TRUE(Enumerate(graph, options, &sink, &run).ok());
+  canceller.join();
+  EXPECT_EQ(run.termination, Termination::kCancelled);
+  EXPECT_GT(sink.count(), 0u);
+}
+
+TEST(RunControlTest, ProgressCallbackFiresWithLiveCounters) {
+  std::atomic<uint64_t> fires{0};
+  std::atomic<uint64_t> last_nodes{0};
+  Options options;
+  options.control.progress_every_s = 0;  // fire on every checkpoint
+  options.control.progress = [&](const RunProgress& p) {
+    fires.fetch_add(1);
+    last_nodes.store(p.stats.nodes_expanded);
+    EXPECT_GE(p.elapsed_seconds, 0.0);
+  };
+  options.control.max_nodes_expanded = 2000;
+  CountSink sink;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(WorstCaseGraph(), options, &sink, &run).ok());
+  EXPECT_GT(fires.load(), 0u);
+  EXPECT_GT(last_nodes.load(), 0u);
+}
+
+TEST(RunControlTest, AnytimeMaximumBicliqueReturnsIncumbentAtDeadline) {
+  const BipartiteGraph graph = WorstCaseGraph();
+  Options options;
+  options.control.deadline_seconds = 0.2;
+  Biclique best;
+  RunResult run;
+  util::WallTimer timer;
+  ASSERT_TRUE(FindMaximumBiclique(graph, options, &best, &run).ok());
+  EXPECT_LT(timer.Seconds(), 2.0);
+  EXPECT_EQ(run.termination, Termination::kDeadline);
+  // The incumbent is a real (maximal) biclique — a usable lower bound.
+  ASSERT_FALSE(best.left.empty());
+  EXPECT_TRUE(IsBiclique(graph, best)) << ToString(best);
+}
+
+TEST(RunControlTest, MaximumBicliqueCompleteRunMatchesLegacyShim) {
+  const BipartiteGraph graph = MediumGraph();
+  Biclique via_status;
+  RunResult run;
+  ASSERT_TRUE(FindMaximumBiclique(graph, Options(), &via_status, &run).ok());
+  EXPECT_TRUE(run.complete());
+  const Biclique via_shim = FindMaximumBiclique(graph, Options());
+  EXPECT_EQ(via_status.num_edges(), via_shim.num_edges());
+}
+
+// --- Status facade -----------------------------------------------------------
+
+TEST(StatusFacadeTest, ParseAlgorithmStatusOverload) {
+  Algorithm algorithm = Algorithm::kMbea;
+  EXPECT_TRUE(ParseAlgorithm("mbet", &algorithm).ok());
+  EXPECT_EQ(algorithm, Algorithm::kMbet);
+  const util::Status bad = ParseAlgorithm("quantum", &algorithm);
+  EXPECT_EQ(bad.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("quantum"), std::string::npos);
+  EXPECT_EQ(algorithm, Algorithm::kMbet);  // untouched on error
+}
+
+TEST(StatusFacadeTest, NullSinkIsAnErrorNotACrash) {
+  RunResult run;
+  const util::Status status =
+      Enumerate(MediumGraph(), Options(), nullptr, &run);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(StatusFacadeTest, NullResultPointerIsAllowed) {
+  CountSink sink;
+  EXPECT_TRUE(Enumerate(MediumGraph(), Options(), &sink, nullptr).ok());
+  EXPECT_GT(sink.count(), 0u);
+}
+
+TEST(StatusFacadeTest, InvalidOptionsAreAnErrorNotACrash) {
+  Options options;
+  options.algorithm = Algorithm::kMineLmbc;
+  options.threads = 4;
+  CountSink sink;
+  RunResult run;
+  const util::Status status = Enumerate(MediumGraph(), options, &sink, &run);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(sink.count(), 0u);  // rejected before any work
+}
+
+TEST(ValidateTest, DefaultOptionsAreValid) {
+  EXPECT_TRUE(Options().Validate().ok());
+}
+
+TEST(ValidateTest, RejectsEachMalformedField) {
+  {
+    Options o;
+    o.threads = 0;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;
+    o.algorithm = Algorithm::kMbea;
+    o.threads = 2;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;
+    o.mbet.min_left = 0;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;
+    o.mbet.min_right = 0;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;
+    o.mbet.trie_min_groups = 0;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;
+    uint64_t watermark = 0;
+    o.mbet.best_edges = &watermark;
+    o.threads = 2;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;
+    o.control.deadline_seconds = -1;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ValidateTest, ParallelSupportMatrix) {
+  for (Algorithm algorithm :
+       {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kImbea,
+        Algorithm::kOombeaLite}) {
+    Options o;
+    o.algorithm = algorithm;
+    o.threads = 8;
+    EXPECT_TRUE(o.Validate().ok()) << AlgorithmName(algorithm);
+  }
+  for (Algorithm algorithm : {Algorithm::kMineLmbc, Algorithm::kMbea}) {
+    Options o;
+    o.algorithm = algorithm;
+    o.threads = 8;
+    EXPECT_FALSE(o.Validate().ok()) << AlgorithmName(algorithm);
+  }
+}
+
+// --- Truncated runs stay consistent with the reference ----------------------
+
+TEST(RunControlTest, TruncatedPrefixIsSubsetOfFullRun) {
+  const BipartiteGraph graph = MediumGraph();
+  const std::vector<Biclique> reference = ReferenceSet(graph);
+  for (unsigned threads : {1u, 4u}) {
+    Options options;
+    options.threads = threads;
+    options.control.max_results = reference.size() / 2;
+    CollectSink sink;
+    RunResult run;
+    ASSERT_TRUE(Enumerate(graph, options, &sink, &run).ok());
+    EXPECT_EQ(run.termination, Termination::kBudget);
+    for (const Biclique& b : sink.TakeSorted()) {
+      EXPECT_TRUE(std::binary_search(reference.begin(), reference.end(), b))
+          << "threads=" << threads << ": " << ToString(b);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbe

@@ -8,10 +8,17 @@
 //
 // Examples:
 //   pmbe --input graph.txt
-//   pmbe --dataset BX --algorithm imbea --budget 30
+//   pmbe --dataset BX --algorithm imbea --timeout_s 30
 //   pmbe --input out.konect --format konect --threads 8 --output result.txt
 //   pmbe --dataset GH --max-biclique --min-left 3 --min-right 3
+//   pmbe --dataset TVT --timeout_s 1 --progress_every_s 0.2
+//
+// Runs are interruptible: Ctrl-C requests cooperative cancellation (the
+// bicliques emitted so far are kept), and --timeout_s / --max_results /
+// --max_nodes bound the run, reporting how it terminated.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 
@@ -21,6 +28,15 @@
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/timer.h"
+
+namespace {
+
+// Set by the SIGINT handler; polled cooperatively by the enumerators.
+std::atomic<bool> g_interrupted{false};
+
+void HandleSigint(int) { g_interrupted.store(true); }
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace mbe;
@@ -35,8 +51,15 @@ int main(int argc, char** argv) {
   flags.AddString("order", "deg-asc",
                   "none | deg-asc | deg-desc | twohop | unilateral | random");
   flags.AddInt("threads", 1, "worker threads (mbet/mbetm/imbea/oombea)");
-  flags.AddDouble("budget", 0, "stop after this many seconds (0 = none)");
-  flags.AddInt("limit", 0, "stop after this many bicliques (0 = none)");
+  flags.AddDouble("timeout_s", 0,
+                  "wall-clock deadline in seconds (0 = none)");
+  flags.AddInt("max_results", 0, "stop after this many bicliques (0 = none)");
+  flags.AddInt("max_nodes", 0,
+               "stop after ~this many enumeration nodes (0 = none)");
+  flags.AddDouble("progress_every_s", 0,
+                  "print progress to stderr every this many seconds (0 = off)");
+  flags.AddDouble("budget", 0, "deprecated alias of --timeout_s");
+  flags.AddInt("limit", 0, "deprecated alias of --max_results");
   flags.AddInt("min-left", 1, "only bicliques with |L| >= this");
   flags.AddInt("min-right", 1, "only bicliques with |R| >= this");
   flags.AddBool("max-biclique", false,
@@ -66,24 +89,76 @@ int main(int argc, char** argv) {
   std::printf("graph: %s\n", graph.Summary().c_str());
 
   Options options;
-  options.algorithm = ParseAlgorithm(flags.GetString("algorithm"));
+  if (util::Status parsed =
+          ParseAlgorithm(flags.GetString("algorithm"), &options.algorithm);
+      !parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
   options.order = ParseVertexOrder(flags.GetString("order"));
   options.threads = static_cast<unsigned>(flags.GetInt("threads"));
   options.mbet.min_left = static_cast<uint32_t>(flags.GetInt("min-left"));
   options.mbet.min_right = static_cast<uint32_t>(flags.GetInt("min-right"));
 
+  // --- Run control --------------------------------------------------------
+  // Negative values would be silently reinterpreted by the unsigned /
+  // fallback plumbing below; reject them up front.
+  if (flags.GetDouble("timeout_s") < 0 || flags.GetDouble("budget") < 0 ||
+      flags.GetInt("max_results") < 0 || flags.GetInt("limit") < 0 ||
+      flags.GetInt("max_nodes") < 0 ||
+      flags.GetDouble("progress_every_s") < 0) {
+    std::fprintf(stderr,
+                 "error: INVALID_ARGUMENT: --timeout_s / --max_results / "
+                 "--max_nodes / --progress_every_s must be >= 0\n");
+    return 2;
+  }
+  std::signal(SIGINT, HandleSigint);
+  options.control.cancel = &g_interrupted;
+  options.control.deadline_seconds = flags.GetDouble("timeout_s") > 0
+                                         ? flags.GetDouble("timeout_s")
+                                         : flags.GetDouble("budget");
+  options.control.max_results = static_cast<uint64_t>(
+      flags.GetInt("max_results") > 0 ? flags.GetInt("max_results")
+                                      : flags.GetInt("limit"));
+  options.control.max_nodes_expanded =
+      static_cast<uint64_t>(flags.GetInt("max_nodes"));
+  if (flags.GetDouble("progress_every_s") > 0) {
+    options.control.progress_every_s = flags.GetDouble("progress_every_s");
+    options.control.progress = [](const RunProgress& p) {
+      std::fprintf(stderr,
+                   "[%7.2fs] %llu bicliques, %llu nodes expanded\n",
+                   p.elapsed_seconds,
+                   static_cast<unsigned long long>(p.results),
+                   static_cast<unsigned long long>(p.stats.nodes_expanded));
+    };
+  }
+  if (util::Status valid = options.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
+    return 2;
+  }
+
   // --- Maximum-biclique mode ---------------------------------------------
   if (flags.GetBool("max-biclique")) {
     util::WallTimer timer;
-    Biclique best = FindMaximumBiclique(graph, options);
+    Biclique best;
+    RunResult run;
+    if (util::Status found = FindMaximumBiclique(graph, options, &best, &run);
+        !found.ok()) {
+      std::fprintf(stderr, "error: %s\n", found.ToString().c_str());
+      return 2;
+    }
+    if (!run.complete()) {
+      std::printf("search stopped early (%s); best incumbent so far:\n",
+                  TerminationName(run.termination));
+    }
     if (best.left.empty()) {
       std::printf("no biclique satisfies the constraints (%.3fs)\n",
                   timer.Seconds());
       return 0;
     }
-    std::printf("maximum biclique: %zu x %zu = %zu edges (%.3fs)\n",
-                best.left.size(), best.right.size(), best.num_edges(),
-                timer.Seconds());
+    std::printf("maximum biclique%s: %zu x %zu = %zu edges (%.3fs)\n",
+                run.complete() ? "" : " (lower bound)", best.left.size(),
+                best.right.size(), best.num_edges(), timer.Seconds());
     std::printf("%s\n", ToString(best).c_str());
     return 0;
   }
@@ -100,7 +175,6 @@ int main(int argc, char** argv) {
   }
 
   CountSink counter;
-  // Writing goes through a callback layered under the budget.
   CallbackSink writer([&](std::span<const VertexId> l,
                           std::span<const VertexId> r) {
     counter.Emit(l, r);
@@ -111,13 +185,17 @@ int main(int argc, char** argv) {
       out << "\n";
     }
   });
-  BudgetSink budget(&writer, static_cast<uint64_t>(flags.GetInt("limit")),
-                    flags.GetDouble("budget"));
 
-  RunResult run = Enumerate(graph, options, &budget);
+  RunResult run;
+  if (util::Status ran = Enumerate(graph, options, &writer, &run); !ran.ok()) {
+    std::fprintf(stderr, "error: %s\n", ran.ToString().c_str());
+    return 2;
+  }
 
-  const bool truncated = budget.ShouldStop() &&
-                         (flags.GetDouble("budget") > 0 || flags.GetInt("limit") > 0);
+  const bool truncated = !run.complete();
+  if (truncated) {
+    std::printf("run stopped early: %s\n", TerminationName(run.termination));
+  }
   std::printf("%s%llu maximal bicliques in %.3fs (preprocess %.3fs)\n",
               truncated ? ">= " : "",
               static_cast<unsigned long long>(counter.count()), run.seconds,

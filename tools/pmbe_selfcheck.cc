@@ -12,6 +12,7 @@
 // The default configuration runs in about a minute; leave it running with
 // a large --rounds for a soak test.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 
@@ -168,6 +169,47 @@ int main(int argc, char** argv) {
                       static_cast<unsigned long long>(sink.count()),
                       reference.size());
         return Fail(graph, "engine disagreement", detail, round);
+      }
+    }
+
+    // Run-control check: a budget-truncated run must stop with the right
+    // termination reason and emit a valid prefix of the reference set
+    // (exercises the cancellation path under sanitizers every round).
+    if (reference.size() >= 4) {
+      const uint64_t cap = reference.size() / 2;
+      for (unsigned threads : {1u, 4u}) {
+        Options o;
+        o.threads = threads;
+        o.control.max_results = cap;
+        CollectSink truncated_sink;
+        RunResult run;
+        const util::Status status =
+            Enumerate(graph, o, &truncated_sink, &run);
+        if (!status.ok()) {
+          return Fail(graph, "controlled run rejected valid options",
+                      status.ToString(), round);
+        }
+        const std::vector<Biclique> prefix = truncated_sink.TakeSorted();
+        char detail[160];
+        if (run.termination != Termination::kBudget ||
+            prefix.size() != cap) {
+          std::snprintf(detail, sizeof(detail),
+                        "threads=%u cap=%llu: got %zu bicliques, "
+                        "termination=%s",
+                        threads, static_cast<unsigned long long>(cap),
+                        prefix.size(), TerminationName(run.termination));
+          return Fail(graph, "result budget not honored", detail, round);
+        }
+        for (const Biclique& b : prefix) {
+          if (!std::binary_search(reference.begin(), reference.end(), b)) {
+            std::snprintf(detail, sizeof(detail),
+                          "threads=%u: emitted biclique not in the "
+                          "reference set: %s",
+                          threads, ToString(b).c_str());
+            return Fail(graph, "truncated run emitted an invalid prefix",
+                        detail, round);
+          }
+        }
       }
     }
 
