@@ -9,6 +9,8 @@
 
 #include "core/neighborhood_trie.h"
 #include "core/set_ops.h"
+#include "core/vertex_set.h"
+#include "util/bitset.h"
 #include "util/random.h"
 
 namespace {
@@ -56,6 +58,78 @@ void BM_IntersectLopsided(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IntersectLopsided)->Range(1 << 10, 1 << 16);
+
+// --- IntersectInto strategy sweep ---------------------------------------
+// Two random sets over a fixed universe whose size is `density`% of the
+// universe; compares the merge loop, galloping search, and the 64-bit word
+// kernel on identical inputs. The crossover these curves show is what the
+// VertexSet density threshold encodes (docs/SET_REPRESENTATION.md).
+
+constexpr size_t kSweepUniverse = 1 << 13;
+
+std::pair<std::vector<VertexId>, std::vector<VertexId>> MakeDensityPair(
+    benchmark::State& state) {
+  mbe::util::Rng rng(11);
+  const size_t n = kSweepUniverse * static_cast<size_t>(state.range(0)) / 100;
+  return {RandomSortedSet(n, kSweepUniverse, rng),
+          RandomSortedSet(n, kSweepUniverse, rng)};
+}
+
+void BM_SetOpsMerge(benchmark::State& state) {
+  auto [a, b] = MakeDensityPair(state);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    mbe::IntersectInto(a, b, &out, mbe::IntersectStrategy::kMerge);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SetOpsMerge)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+
+void BM_SetOpsGallop(benchmark::State& state) {
+  auto [a, b] = MakeDensityPair(state);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    mbe::IntersectInto(a, b, &out, mbe::IntersectStrategy::kGallop);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SetOpsGallop)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+
+void BM_SetOpsBitmap(benchmark::State& state) {
+  auto [a, b] = MakeDensityPair(state);
+  const size_t words = mbe::util::WordsFor(kSweepUniverse);
+  std::vector<uint64_t> wa(words, 0), wb(words, 0), out(words, 0);
+  mbe::util::SetBits(a, wa);
+  mbe::util::SetBits(b, wb);
+  for (auto _ : state) {
+    mbe::IntersectInto(wa, wb, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SetOpsBitmap)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+
+// Counting variant of the word kernel — the exact operation the bitmap
+// classification path in MbetEnumerator::Classify issues per group.
+void BM_SetOpsBitmapCount(benchmark::State& state) {
+  auto [a, b] = MakeDensityPair(state);
+  const size_t words = mbe::util::WordsFor(kSweepUniverse);
+  std::vector<uint64_t> wa(words, 0), wb(words, 0);
+  mbe::util::SetBits(a, wa);
+  mbe::util::SetBits(b, wb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mbe::IntersectSize(wa, wb));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SetOpsBitmapCount)
+    ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
 
 void BM_MaskProbe(benchmark::State& state) {
   mbe::util::Rng rng(3);

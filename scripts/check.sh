@@ -54,4 +54,29 @@ for threads in 1 4; do
   echo "  [threads=$threads] stopped in ${elapsed_ms}ms"
 done
 
+echo "=== set-representation matrix: PMBE_FORCE_BITMAP=ON / OFF ==="
+# Build the suite with the bitmap representation force-enabled and with the
+# adaptive default, run the full test suite both ways, and require the
+# differential fuzzer to cross-check the exact same number of bicliques in
+# both legs: the set representation must never change the enumerated set.
+declare -A matrix_count
+for force in ON OFF; do
+  dir="$BUILD_DIR-bitmap-$(echo "$force" | tr '[:upper:]' '[:lower:]')"
+  echo "--- leg PMBE_FORCE_BITMAP=$force ($dir) ---"
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPMBE_FORCE_BITMAP="$force"
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+  leg_out=$("$dir/tools/pmbe_selfcheck" --rounds 25 --seed 7)
+  echo "$leg_out" | sed 's/^/  /'
+  matrix_count[$force]=$(echo "$leg_out" | grep -o '[0-9]* bicliques' | grep -o '[0-9]*')
+done
+if [[ "${matrix_count[ON]}" != "${matrix_count[OFF]}" ]]; then
+  echo "FAIL: selfcheck biclique counts diverge between bitmap legs:" \
+       "ON=${matrix_count[ON]} OFF=${matrix_count[OFF]}" >&2
+  exit 1
+fi
+echo "bitmap matrix OK: ${matrix_count[ON]} bicliques in both legs"
+
 echo "=== all checks passed ==="

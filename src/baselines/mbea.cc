@@ -14,11 +14,19 @@ MbeaEnumerator::MbeaEnumerator(const BipartiteGraph& graph,
 
 void MbeaEnumerator::EnumerateAll(ResultSink* sink) {
   if (graph_.num_left() == 0 || graph_.num_right() == 0) return;
-  std::vector<VertexId> l(graph_.num_left());
+  EnumContext::Frame frame(&ctx_);
+  std::vector<VertexId>& l = *frame.AcquireIds();
+  l.resize(graph_.num_left());
   std::iota(l.begin(), l.end(), 0);
-  std::vector<VertexId> cands(graph_.num_right());
+  std::vector<VertexId>& cands = *frame.AcquireIds();
+  cands.resize(graph_.num_right());
   std::iota(cands.begin(), cands.end(), 0);
-  Expand(l, {}, std::move(cands), {}, sink);
+  std::vector<VertexId>& r = *frame.AcquireIds();
+  std::vector<VertexId>& q = *frame.AcquireIds();
+  Expand(l, r, cands, q, sink);
+  if (ctx_.peak_bytes() > stats_.arena_peak_bytes) {
+    stats_.arena_peak_bytes = ctx_.peak_bytes();
+  }
 }
 
 void MbeaEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
@@ -28,46 +36,64 @@ void MbeaEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
     if (pruned) ++stats_.subtrees_pruned;
     return;
   }
-  std::vector<VertexId> r;
+  EnumContext::Frame frame(&ctx_);
+  std::vector<VertexId>& r = *frame.AcquireIds();
   r.push_back(v);
   r.insert(r.end(), root_absorbed_.begin(), root_absorbed_.end());
   std::sort(r.begin(), r.end());
 
-  std::vector<VertexId> cands, q;
+  std::vector<VertexId>& cands = *frame.AcquireIds();
+  std::vector<VertexId>& q = *frame.AcquireIds();
   for (const RootEntry& entry : root_.entries) {
     (entry.forbidden ? q : cands).push_back(entry.w);
   }
   sink->Emit(root_.l0, r);
   ++stats_.maximal;
   if (!cands.empty()) {
-    Expand(root_.l0, r, std::move(cands), std::move(q), sink);
+    Expand(root_.l0, r, cands, q, sink);
+  }
+  if (ctx_.peak_bytes() > stats_.arena_peak_bytes) {
+    stats_.arena_peak_bytes = ctx_.peak_bytes();
   }
 }
 
 void MbeaEnumerator::Expand(const std::vector<VertexId>& l,
                             const std::vector<VertexId>& r,
-                            std::vector<VertexId> cands,
-                            std::vector<VertexId> q, ResultSink* sink) {
+                            const std::vector<VertexId>& cands,
+                            std::vector<VertexId>& q, ResultSink* sink) {
   ++stats_.nodes_expanded;
+  EnumContext::Frame frame(&ctx_);
+
+  const VertexId* order = cands.data();
+  std::vector<VertexId>* ordered = nullptr;
   if (options_.improved) {
-    // iMBEA: traverse candidates in ascending |N(w) ∩ L|.
+    // iMBEA: traverse candidates in ascending |N(w) ∩ L|. Key and vertex
+    // pack into one 64-bit word, so the sort runs over pooled flat words.
     l_mask_.Set(l);
-    std::vector<std::pair<uint32_t, VertexId>> keyed;
+    std::vector<uint64_t>& keyed = *frame.AcquireWords();
     keyed.reserve(cands.size());
     for (VertexId w : cands) {
-      keyed.emplace_back(static_cast<uint32_t>(IntersectSizeWithMask(
-                             graph_.RightNeighbors(w), l_mask_)),
-                         w);
+      const uint64_t key =
+          IntersectSizeWithMask(graph_.RightNeighbors(w), l_mask_);
+      keyed.push_back(key << 32 | w);
     }
     l_mask_.Clear(l);
     std::sort(keyed.begin(), keyed.end());
-    for (size_t i = 0; i < keyed.size(); ++i) cands[i] = keyed[i].second;
+    ordered = frame.AcquireIds();
+    ordered->reserve(cands.size());
+    for (uint64_t kw : keyed) {
+      ordered->push_back(static_cast<VertexId>(kw & 0xffffffffu));
+    }
+    order = ordered->data();
   }
 
-  std::vector<VertexId> lp, rp, cp, qp;
+  std::vector<VertexId>& lp = *frame.AcquireIds();
+  std::vector<VertexId>& rp = *frame.AcquireIds();
+  std::vector<VertexId>& cp = *frame.AcquireIds();
+  std::vector<VertexId>& qp = *frame.AcquireIds();
   for (size_t i = 0; i < cands.size(); ++i) {
     if (Stopped(sink)) return;
-    const VertexId vc = cands[i];
+    const VertexId vc = order[i];
 
     l_mask_.Set(l);
     IntersectWithMask(graph_.RightNeighbors(vc), l_mask_, &lp);
@@ -76,7 +102,7 @@ void MbeaEnumerator::Expand(const std::vector<VertexId>& l,
 
     l_mask_.Set(lp);
     // Maximality via the Q set: traversed vertices of this node are
-    // cands[0..i-1], accumulated into q at the end of each iteration.
+    // order[0..i-1], accumulated into q at the end of each iteration.
     bool maximal = true;
     qp.clear();
     for (VertexId qv : q) {
@@ -96,7 +122,7 @@ void MbeaEnumerator::Expand(const std::vector<VertexId>& l,
       rp.push_back(vc);
       cp.clear();
       for (size_t j = i + 1; j < cands.size(); ++j) {
-        const VertexId w = cands[j];
+        const VertexId w = order[j];
         const size_t k =
             IntersectSizeWithMask(graph_.RightNeighbors(w), l_mask_);
         if (k == lp.size()) {
@@ -112,7 +138,7 @@ void MbeaEnumerator::Expand(const std::vector<VertexId>& l,
       sink->Emit(lp, rp);
       ++stats_.maximal;
       l_mask_.Clear(lp);
-      if (!cp.empty()) Expand(lp, rp, std::move(cp), qp, sink);
+      if (!cp.empty()) Expand(lp, rp, cp, qp, sink);
     } else {
       ++stats_.non_maximal;
       l_mask_.Clear(lp);

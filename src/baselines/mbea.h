@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/enum_context.h"
 #include "core/enum_stats.h"
 #include "core/run_control.h"
 #include "core/set_ops.h"
@@ -53,8 +54,12 @@ class MbeaEnumerator {
   }
 
  private:
+  /// One node expansion. All operands live in EnumContext buffers owned by
+  /// the caller's frame: `cands`/`q` are consumed read-only except that
+  /// traversed candidates are appended to `q` (the caller rebuilds its
+  /// buffer each iteration anyway).
   void Expand(const std::vector<VertexId>& l, const std::vector<VertexId>& r,
-              std::vector<VertexId> cands, std::vector<VertexId> q,
+              const std::vector<VertexId>& cands, std::vector<VertexId>& q,
               ResultSink* sink);
 
   /// Combined cooperative stop poll: run controller, then the sink chain.
@@ -70,6 +75,7 @@ class MbeaEnumerator {
   SubtreeBuilder builder_;
   SubtreeRoot root_;
   std::vector<VertexId> root_absorbed_;
+  EnumContext ctx_;  ///< per-node scratch pool (checkpoint/rewind per depth)
 };
 
 }  // namespace mbe

@@ -9,25 +9,32 @@ MineLmbcEnumerator::MineLmbcEnumerator(const BipartiteGraph& graph)
     : graph_(graph), l_mask_(graph.num_left()) {}
 
 void MineLmbcEnumerator::CommonRight(const std::vector<VertexId>& left,
-                                     std::vector<VertexId>* out) const {
+                                     std::vector<VertexId>* out,
+                                     std::vector<VertexId>* tmp) const {
   out->clear();
   if (left.empty()) return;
   auto first = graph_.LeftNeighbors(left[0]);
   out->assign(first.begin(), first.end());
-  std::vector<VertexId> tmp;
   for (size_t i = 1; i < left.size() && !out->empty(); ++i) {
-    Intersect(*out, graph_.LeftNeighbors(left[i]), &tmp);
-    out->swap(tmp);
+    IntersectInto(*out, graph_.LeftNeighbors(left[i]), tmp);
+    out->swap(*tmp);
   }
 }
 
 void MineLmbcEnumerator::EnumerateAll(ResultSink* sink) {
   if (graph_.num_left() == 0 || graph_.num_right() == 0) return;
-  std::vector<VertexId> l(graph_.num_left());
+  EnumContext::Frame frame(&ctx_);
+  std::vector<VertexId>& l = *frame.AcquireIds();
+  l.resize(graph_.num_left());
   std::iota(l.begin(), l.end(), 0);
-  std::vector<VertexId> cands(graph_.num_right());
+  std::vector<VertexId>& cands = *frame.AcquireIds();
+  cands.resize(graph_.num_right());
   std::iota(cands.begin(), cands.end(), 0);
-  Expand(l, {}, cands, sink);
+  std::vector<VertexId>& r = *frame.AcquireIds();
+  Expand(l, r, cands, sink);
+  if (ctx_.peak_bytes() > stats_.arena_peak_bytes) {
+    stats_.arena_peak_bytes = ctx_.peak_bytes();
+  }
 }
 
 void MineLmbcEnumerator::Expand(const std::vector<VertexId>& l,
@@ -35,7 +42,12 @@ void MineLmbcEnumerator::Expand(const std::vector<VertexId>& l,
                                 const std::vector<VertexId>& cands,
                                 ResultSink* sink) {
   ++stats_.nodes_expanded;
-  std::vector<VertexId> lp, rp, cp, closure;
+  EnumContext::Frame frame(&ctx_);
+  std::vector<VertexId>& lp = *frame.AcquireIds();
+  std::vector<VertexId>& rp = *frame.AcquireIds();
+  std::vector<VertexId>& cp = *frame.AcquireIds();
+  std::vector<VertexId>& closure = *frame.AcquireIds();
+  std::vector<VertexId>& tmp = *frame.AcquireIds();
   for (size_t i = 0; i < cands.size(); ++i) {
     if (Stopped(sink)) return;
     const VertexId vc = cands[i];
@@ -68,7 +80,7 @@ void MineLmbcEnumerator::Expand(const std::vector<VertexId>& l,
     std::sort(rp.begin(), rp.end());
 
     // Maximality: R' must equal C(L'), recomputed from scratch.
-    CommonRight(lp, &closure);
+    CommonRight(lp, &closure, &tmp);
     if (closure == rp) {
       sink->Emit(lp, rp);
       ++stats_.maximal;

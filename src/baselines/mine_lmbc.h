@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/enum_context.h"
 #include "core/enum_stats.h"
 #include "core/run_control.h"
 #include "core/set_ops.h"
@@ -45,14 +46,17 @@ class MineLmbcEnumerator {
   }
 
   /// C(left) on the right side, computed by intersecting left adjacency
-  /// lists (the expensive from-scratch maximality check).
+  /// lists (the expensive from-scratch maximality check). `tmp` is caller
+  /// scratch for the running intersection.
   void CommonRight(const std::vector<VertexId>& left,
-                   std::vector<VertexId>* out) const;
+                   std::vector<VertexId>* out,
+                   std::vector<VertexId>* tmp) const;
 
   const BipartiteGraph& graph_;
   EnumStats stats_;
   RunPoller poller_;
   MembershipMask l_mask_;
+  EnumContext ctx_;  ///< per-node scratch pool (checkpoint/rewind per depth)
 };
 
 }  // namespace mbe

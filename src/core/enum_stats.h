@@ -37,6 +37,16 @@ struct EnumStats {
   /// Subtrees skipped entirely at the root because an earlier vertex
   /// dominates the root's L.
   uint64_t subtrees_pruned = 0;
+  /// Sorted-list <-> bitmap representation switches made by the adaptive
+  /// density policy (core/vertex_set.h).
+  uint64_t bitmap_conversions = 0;
+  /// Intersections answered by the word-AND bitmap kernels instead of a
+  /// merge/gallop over sorted lists.
+  uint64_t bitmap_kernel_calls = 0;
+  /// High-water mark of the per-thread EnumContext scratch arenas, in
+  /// bytes. NOT additive: merged via max (workers' arenas coexist, but
+  /// the per-thread peak is the capacity-planning number).
+  uint64_t arena_peak_bytes = 0;
 
   void MergeFrom(const EnumStats& other) {
     nodes_expanded += other.nodes_expanded;
@@ -48,6 +58,11 @@ struct EnumStats {
     trie_probes += other.trie_probes;
     local_scan_size += other.local_scan_size;
     subtrees_pruned += other.subtrees_pruned;
+    bitmap_conversions += other.bitmap_conversions;
+    bitmap_kernel_calls += other.bitmap_kernel_calls;
+    if (other.arena_peak_bytes > arena_peak_bytes) {
+      arena_peak_bytes = other.arena_peak_bytes;
+    }
   }
 };
 

@@ -9,9 +9,16 @@ MbetEnumerator::MbetEnumerator(const BipartiteGraph& graph,
     : graph_(graph),
       options_(options),
       builder_(graph),
-      lp_mask_(graph.num_left()) {
-  // MBETM stores no local lists, so there is nothing to build a trie over.
+      lp_mask_(graph.num_left()),
+      ctx_(options.memory) {
+  // MBETM stores no local lists, so there is nothing to build a trie over,
+  // and its recomputation intersects global adjacency lists, so the local
+  // renumbering (and with it the bitmap path) does not apply.
   if (options_.recompute_locals) options_.use_trie = false;
+  renumber_ = !options_.recompute_locals;
+#ifdef PMBE_FORCE_BITMAP
+  options_.bitmap_density = 0.0;
+#endif
 }
 
 MbetEnumerator::Level& MbetEnumerator::LevelAt(size_t depth) {
@@ -26,6 +33,23 @@ void MbetEnumerator::EnumerateAll(ResultSink* sink) {
     if (Stopped(sink)) return;
     EnumerateSubtree(v, sink);
   }
+  ctx_.Trim();  // release pooled scratch so trackers balance to zero
+}
+
+void MbetEnumerator::EmitBiclique(std::span<const VertexId> l,
+                                  std::span<const VertexId> r,
+                                  ResultSink* sink) {
+  if (renumber_) {
+    // Local ids are positions in the sorted root_.l0, so the translated
+    // list is ascending without a sort.
+    emit_l_.clear();
+    emit_l_.reserve(l.size());
+    for (VertexId x : l) emit_l_.push_back(root_.l0[x]);
+    sink->Emit(emit_l_, r);
+  } else {
+    sink->Emit(l, r);
+  }
+  ++stats_.maximal;
 }
 
 void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
@@ -39,7 +63,24 @@ void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
   }
 
   Level& lvl = LevelAt(0);
-  lvl.l = root_.l0;
+  local_universe_ = root_.l0.size();
+  if (renumber_) {
+    // Renumber this subtree's left vertices into [0, |L0|): position in
+    // the sorted l0 is the local id, so sorted global locals map to
+    // sorted local locals.
+    if (local_id_.size() < graph_.num_left()) {
+      local_id_.resize(graph_.num_left(), 0);
+    }
+    for (size_t i = 0; i < root_.l0.size(); ++i) {
+      local_id_[root_.l0[i]] = static_cast<VertexId>(i);
+    }
+    lvl.l.resize(local_universe_);
+    for (size_t i = 0; i < local_universe_; ++i) {
+      lvl.l[i] = static_cast<VertexId>(i);
+    }
+  } else {
+    lvl.l = root_.l0;
+  }
   lvl.r.clear();
   lvl.r.push_back(v);
   lvl.r.insert(lvl.r.end(), root_absorbed_.begin(), root_absorbed_.end());
@@ -54,9 +95,14 @@ void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
     g.mem_len = 1;
     lvl.members.push_back(entry.w);
     g.loc_off = static_cast<uint32_t>(lvl.locs.size());
-    g.loc_len = static_cast<uint32_t>(entry.loc.size());
-    lvl.locs.insert(lvl.locs.end(), entry.loc.begin(), entry.loc.end());
-    g.loc_hash = HashVertexSpan(entry.loc);
+    g.loc_len = entry.loc_len;
+    uint64_t hash = 1469598103934665603ULL;
+    for (VertexId x : root_.LocOf(entry)) {
+      const VertexId id = renumber_ ? local_id_[x] : x;
+      lvl.locs.push_back(id);
+      hash = (hash ^ (id + 1ULL)) * 1099511628211ULL;
+    }
+    g.loc_hash = hash;
     g.forbidden = entry.forbidden;
     lvl.groups.push_back(g);
   }
@@ -68,8 +114,7 @@ void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
   // construction: domination by an earlier vertex was excluded by the
   // builder, and all dominating later vertices were absorbed.
   if (lvl.r.size() >= options_.min_right) {
-    sink->Emit(lvl.l, lvl.r);
-    ++stats_.maximal;
+    EmitBiclique(lvl.l, lvl.r, sink);
   }
 
   bool has_candidate = false;
@@ -87,6 +132,9 @@ void MbetEnumerator::EnumerateSubtree(VertexId v, ResultSink* sink) {
     return;
   }
   Recurse(0, sink);
+  if (ctx_.peak_bytes() > stats_.arena_peak_bytes) {
+    stats_.arena_peak_bytes = ctx_.peak_bytes();
+  }
 }
 
 void MbetEnumerator::SortAndAggregate(Level* lvl) {
@@ -160,6 +208,25 @@ void MbetEnumerator::Classify(Level& lvl) {
       stats_.trie_probes += nbrs.size();
       stats_.local_scan_size += nbrs.size();
     }
+    return;
+  }
+  if (lvl.words_built) {
+    // Dense node: one AND+popcount per group over the fixed-width local
+    // bitmaps. Probe accounting stays logical (|loc| per group, like the
+    // direct scan) so the trie-vs-direct probe-ratio metric keeps its
+    // meaning across representations; bitmap_kernel_calls records the
+    // physical kernel used.
+    const size_t words = lvl.words_per_group;
+    const std::span<const uint64_t> lp(*lvl.lp_words);
+    for (size_t h = 0; h < n; ++h) {
+      const Group& g = lvl.groups[h];
+      const std::span<const uint64_t> loc(lvl.loc_words->data() + h * words,
+                                          words);
+      lvl.counts[h] = static_cast<uint32_t>(IntersectSize(loc, lp));
+      stats_.trie_probes += g.loc_len;
+      stats_.local_scan_size += g.loc_len;
+    }
+    stats_.bitmap_kernel_calls += n;
     return;
   }
   // Direct per-group scan over stored locals (trie ablated).
@@ -263,6 +330,7 @@ uint64_t MbetEnumerator::LevelBytes(const Level& lvl) {
 }
 
 void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
+  EnumContext::Frame frame(&ctx_);
   Level& lvl = *levels_[depth];
   ++stats_.nodes_expanded;
 
@@ -277,6 +345,36 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
       for (const Group& g : lvl.groups) lvl.lists.push_back(lvl.LocOf(g));
       lvl.trie.BuildUnordered(lvl.lists);
       lvl.trie_built = true;
+    }
+  }
+
+  // Adaptive bitmaps (docs/SET_REPRESENTATION.md): on nodes the trie does
+  // not take, dense-enough locals are materialized once into fixed-width
+  // bitmaps over the local universe, turning every classification pass at
+  // this node into AND+popcount kernels.
+  lvl.words_built = false;
+  lvl.loc_words = nullptr;
+  lvl.lp_words = nullptr;
+  if (!lvl.trie_built && renumber_ && !lvl.groups.empty() &&
+      options_.bitmap_density <= 1.0) {
+    uint64_t total_loc = 0;
+    for (const Group& g : lvl.groups) total_loc += g.loc_len;
+    if (static_cast<double>(total_loc) >=
+        options_.bitmap_density * static_cast<double>(local_universe_) *
+            static_cast<double>(lvl.groups.size())) {
+      const size_t words = util::WordsFor(local_universe_);
+      lvl.loc_words = frame.AcquireWords();
+      lvl.lp_words = frame.AcquireWords();
+      lvl.loc_words->assign(words * lvl.groups.size(), 0);
+      lvl.lp_words->assign(words, 0);
+      for (size_t h = 0; h < lvl.groups.size(); ++h) {
+        util::SetBits(lvl.LocOf(lvl.groups[h]),
+                      std::span<uint64_t>(lvl.loc_words->data() + h * words,
+                                          words));
+      }
+      lvl.words_per_group = words;
+      lvl.words_built = true;
+      stats_.bitmap_conversions += lvl.groups.size();
     }
   }
 
@@ -300,7 +398,7 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
     return lvl.members[ga.mem_off] < lvl.members[gb.mem_off];
   });
 
-  std::vector<VertexId> absorbed_members;
+  std::vector<VertexId>* absorbed_members = frame.AcquireIds();
   for (uint32_t idx : lvl.order) {
     if (Stopped(sink)) break;
     Group& g = lvl.groups[idx];
@@ -326,6 +424,10 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
     }
 
     lp_mask_.Set(child.l);
+    if (lvl.words_built) {
+      util::ClearWords(*lvl.lp_words);
+      util::SetBits(child.l, *lvl.lp_words);
+    }
     Classify(lvl);
 
     // Maximality (node) check: a forbidden group dominating L' witnesses
@@ -344,12 +446,11 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
       continue;
     }
 
-    BuildChild(depth, idx, &absorbed_members);
+    BuildChild(depth, idx, absorbed_members);
     lp_mask_.Clear(child.l);
 
     if (child.r.size() >= options_.min_right) {
-      sink->Emit(child.l, child.r);
-      ++stats_.maximal;
+      EmitBiclique(child.l, child.r, sink);
     }
 
     bool has_candidate = false;

@@ -4,12 +4,14 @@
 #include <memory>
 #include <vector>
 
+#include "core/enum_context.h"
 #include "core/enum_stats.h"
 #include "core/neighborhood_trie.h"
 #include "core/run_control.h"
 #include "core/set_ops.h"
 #include "core/sink.h"
 #include "core/subtree.h"
+#include "core/vertex_set.h"
 #include "graph/bipartite_graph.h"
 #include "util/memory.h"
 
@@ -33,6 +35,11 @@
 ///  * Per-level state is arena-backed (one flat buffer for all locals, one
 ///    for all member lists); groups are plain metadata, so the hot loops
 ///    never allocate and group sorting moves 32-byte records.
+///  * Each subtree's vertices are renumbered into the local universe
+///    [0, |L0|), and nodes the trie does not take classify through
+///    fixed-width bitmaps when their locals are dense enough
+///    (core/vertex_set.h; `bitmap_density`). Per-node scratch comes from
+///    an EnumContext arena instead of ad-hoc vectors.
 ///  * `MbetOptions` exposes each technique as a switch for the ablation
 ///    experiments, plus the MBETM space-optimized mode which stores no
 ///    local lists and recomputes counts from the graph.
@@ -60,6 +67,15 @@ struct MbetOptions {
   /// nodes amortize the build cost while narrow nodes classify directly.
   /// 1 forces a trie everywhere (sensitivity axis, see bench_s11).
   uint32_t trie_min_groups = 4;
+  /// Density threshold of the adaptive set-representation layer
+  /// (docs/SET_REPRESENTATION.md). Nodes the trie does not take whose
+  /// average local density (Σ|loc| / (groups · |L0|)) reaches this
+  /// threshold classify through fixed-width bitmaps over the renumbered
+  /// local universe instead of per-element scans. 0 forces bitmaps on
+  /// every such node; > 1 disables them. Building with
+  /// -DPMBE_FORCE_BITMAP=ON pins this to 0 (the CI differential leg).
+  /// Ignored in MBETM mode, which stores no locals to convert.
+  double bitmap_density = 0.10;
 
   /// Size-constrained enumeration: only maximal bicliques (of the whole
   /// graph) with |L| >= min_left and |R| >= min_right are emitted, and the
@@ -123,13 +139,22 @@ class MbetEnumerator {
     std::vector<Group> groups;
     std::vector<VertexId> locs;     ///< arena: all locals, concatenated
     std::vector<VertexId> members;  ///< arena: all member lists
-    std::vector<VertexId> l;        ///< this node's L
+    std::vector<VertexId> l;        ///< this node's L (local ids; see below)
     std::vector<VertexId> r;        ///< this node's R
     NeighborhoodTrie trie;          ///< built over groups' locals
     bool trie_built = false;
     std::vector<uint32_t> counts;   ///< classification output buffer
     std::vector<uint32_t> order;    ///< candidate traversal order buffer
     std::vector<std::span<const VertexId>> lists;  ///< trie build scratch
+
+    // Bitmap classification state for this node, valid only inside its
+    // Recurse frame: EnumContext word buffers holding one fixed-width
+    // bitmap per group (loc_words) and the current L' (lp_words) over the
+    // subtree's local universe.
+    bool words_built = false;
+    std::vector<uint64_t>* loc_words = nullptr;
+    std::vector<uint64_t>* lp_words = nullptr;
+    size_t words_per_group = 0;
 
     std::span<const VertexId> LocOf(const Group& g) const {
       return {locs.data() + g.loc_off, g.loc_len};
@@ -167,6 +192,11 @@ class MbetEnumerator {
   /// drops the arena afterwards).
   void SortAndAggregate(Level* lvl);
 
+  /// Emits (l, r), translating `l` from subtree-local ids back to global
+  /// vertex ids when the subtree is renumbered.
+  void EmitBiclique(std::span<const VertexId> l, std::span<const VertexId> r,
+                    ResultSink* sink);
+
   /// Logical bytes of a level's current contents (memory accounting).
   static uint64_t LevelBytes(const Level& lvl);
 
@@ -179,6 +209,17 @@ class MbetEnumerator {
   std::vector<std::unique_ptr<Level>> levels_;
   SubtreeRoot root_;
   std::vector<VertexId> root_absorbed_;
+
+  /// All per-node scratch (bitmap word arenas, absorbed-member buffers)
+  /// comes from here; one context per enumerator (= per thread).
+  EnumContext ctx_;
+  /// Renumber each subtree's locals into the local universe [0, |L0|):
+  /// local ids are dense, so L'/loc bitmaps are a handful of words.
+  /// Disabled in MBETM mode, which counts against global graph adjacency.
+  bool renumber_ = false;
+  size_t local_universe_ = 0;          ///< |L0| of the current subtree
+  std::vector<VertexId> local_id_;     ///< global left id -> local id
+  std::vector<VertexId> emit_l_;       ///< local -> global translation buffer
 };
 
 }  // namespace mbe

@@ -71,6 +71,27 @@ void Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
   });
 }
 
+void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
+                   std::vector<VertexId>* out, IntersectStrategy strategy) {
+  out->clear();
+  auto visit = [out](VertexId x) {
+    out->push_back(x);
+    return true;
+  };
+  switch (strategy) {
+    case IntersectStrategy::kAuto:
+      ForEachCommon(a, b, visit);
+      break;
+    case IntersectStrategy::kMerge:
+      MergeCommon(a, b, visit);
+      break;
+    case IntersectStrategy::kGallop:
+      if (a.size() > b.size()) std::swap(a, b);
+      if (!a.empty()) GallopCommon(a, b, visit);
+      break;
+  }
+}
+
 size_t IntersectSize(std::span<const VertexId> a,
                      std::span<const VertexId> b) {
   size_t count = 0;

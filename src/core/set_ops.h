@@ -19,6 +19,18 @@ namespace mbe {
 void Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
                std::vector<VertexId>* out);
 
+/// Which list×list intersection kernel to run. `kAuto` picks galloping
+/// when the operand sizes are lopsided (the production behaviour);
+/// `kMerge`/`kGallop` pin the kernel for benchmarking and testing.
+enum class IntersectStrategy : uint8_t { kAuto, kMerge, kGallop };
+
+/// Intersects sorted `a` and `b` into `*out` (cleared first) using the
+/// requested kernel. The list×list member of the overload set that
+/// core/vertex_set.h extends to bitmap and mixed representations.
+void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
+                   std::vector<VertexId>* out,
+                   IntersectStrategy strategy = IntersectStrategy::kAuto);
+
 /// Returns |a ∩ b| without materializing the intersection.
 size_t IntersectSize(std::span<const VertexId> a, std::span<const VertexId> b);
 

@@ -14,6 +14,7 @@ bool SubtreeBuilder::Build(VertexId v, SubtreeRoot* root,
   *pruned = false;
   root->seed = v;
   root->entries.clear();
+  root->locs.clear();
   absorbed->clear();
 
   auto nbrs = graph_.RightNeighbors(v);
@@ -29,9 +30,14 @@ bool SubtreeBuilder::Build(VertexId v, SubtreeRoot* root,
     RootEntry entry;
     entry.w = w;
     entry.forbidden = w < v;
-    IntersectWithMask(graph_.RightNeighbors(w), l_mask_, &entry.loc);
-    if (entry.loc.empty()) continue;  // unreachable from L0: N2 guarantees >0
-    if (entry.loc.size() == l0_size) {
+    entry.loc_off = static_cast<uint32_t>(root->locs.size());
+    for (VertexId x : graph_.RightNeighbors(w)) {
+      if (l_mask_.Test(x)) root->locs.push_back(x);
+    }
+    entry.loc_len = static_cast<uint32_t>(root->locs.size() - entry.loc_off);
+    if (entry.loc_len == 0) continue;  // unreachable from L0: N2 guarantees >0
+    if (entry.loc_len == l0_size) {
+      root->locs.resize(entry.loc_off);  // loc == L0: no need to keep it
       if (entry.forbidden) {
         // An earlier vertex dominates L0: the whole subtree is covered by
         // subtree(w). Prune.
@@ -41,7 +47,7 @@ bool SubtreeBuilder::Build(VertexId v, SubtreeRoot* root,
       absorbed->push_back(w);
       continue;
     }
-    root->entries.push_back(std::move(entry));
+    root->entries.push_back(entry);
   }
   l_mask_.Clear(root->l0);
 

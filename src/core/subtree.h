@@ -1,6 +1,8 @@
 #ifndef PMBE_CORE_SUBTREE_H_
 #define PMBE_CORE_SUBTREE_H_
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/set_ops.h"
@@ -21,12 +23,15 @@
 
 namespace mbe {
 
-/// One root entry: a two-hop neighbor of the subtree's seed vertex with its
-/// local neighborhood w.r.t. L0.
+/// One root entry: a two-hop neighbor of the subtree's seed vertex. Its
+/// local neighborhood lives in the shared `SubtreeRoot::locs` arena
+/// (offset/length), so rebuilding a root reuses one flat buffer instead of
+/// allocating a vector per entry.
 struct RootEntry {
   VertexId w = kInvalidVertex;
   bool forbidden = false;           ///< true when w precedes the seed
-  std::vector<VertexId> loc;        ///< N(w) ∩ L0, sorted
+  uint32_t loc_off = 0;             ///< offset into SubtreeRoot::locs
+  uint32_t loc_len = 0;             ///< |N(w) ∩ L0|
 };
 
 /// Root state of subtree(v).
@@ -34,6 +39,12 @@ struct SubtreeRoot {
   VertexId seed = kInvalidVertex;
   std::vector<VertexId> l0;          ///< N(v)
   std::vector<RootEntry> entries;    ///< two-hop neighbors with locals
+  std::vector<VertexId> locs;        ///< arena: all entry locals, sorted
+
+  /// The local neighborhood N(entry.w) ∩ L0 of `entry`, sorted.
+  std::span<const VertexId> LocOf(const RootEntry& entry) const {
+    return {locs.data() + entry.loc_off, entry.loc_len};
+  }
 };
 
 /// Reusable scratch for building subtree roots.

@@ -1,0 +1,146 @@
+#include "core/vertex_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/set_ops.h"
+
+namespace mbe {
+
+VertexSet VertexSet::OfSorted(std::vector<VertexId> sorted, size_t universe) {
+  PMBE_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
+  PMBE_DCHECK(sorted.empty() || sorted.back() < universe);
+  VertexSet s;
+  s.size_ = sorted.size();
+  s.sorted_ = std::move(sorted);
+  s.universe_ = universe;
+  s.rep_ = Rep::kSorted;
+  return s;
+}
+
+VertexSet VertexSet::OfBitmap(std::vector<uint64_t> words, size_t universe) {
+  PMBE_DCHECK(words.size() == util::WordsFor(universe));
+  VertexSet s;
+  s.size_ = util::CountBits(words);
+  s.words_ = std::move(words);
+  s.universe_ = universe;
+  s.rep_ = Rep::kBitmap;
+  return s;
+}
+
+VertexSet VertexSet::Make(std::span<const VertexId> sorted, size_t universe,
+                          const VertexSetPolicy& policy) {
+  if (policy.PickBitmap(sorted.size(), universe)) {
+    std::vector<uint64_t> words(util::WordsFor(universe), 0);
+    util::SetBits(sorted, words);
+    return OfBitmap(std::move(words), universe);
+  }
+  return OfSorted(std::vector<VertexId>(sorted.begin(), sorted.end()),
+                  universe);
+}
+
+bool VertexSet::Contains(VertexId x) const {
+  if (x >= universe_) return false;
+  return rep_ == Rep::kBitmap ? util::TestBit(words_, x)
+                              : mbe::Contains(sorted_, x);
+}
+
+void VertexSet::ConvertTo(Rep rep) {
+  if (rep == rep_) return;
+  if (rep == Rep::kBitmap) {
+    words_.assign(util::WordsFor(universe_), 0);
+    util::SetBits(sorted_, words_);
+    sorted_.clear();
+  } else {
+    sorted_.clear();
+    sorted_.reserve(size_);
+    util::AppendBitsToList(words_, &sorted_);
+    words_.clear();
+  }
+  rep_ = rep;
+}
+
+bool VertexSet::Adapt(const VertexSetPolicy& policy) {
+  const Rep want =
+      policy.PickBitmap(size_, universe_) ? Rep::kBitmap : Rep::kSorted;
+  if (want == rep_) return false;
+  ConvertTo(want);
+  return true;
+}
+
+std::vector<VertexId> VertexSet::ToSortedList() const {
+  if (rep_ == Rep::kSorted) return sorted_;
+  std::vector<VertexId> out;
+  out.reserve(size_);
+  util::AppendBitsToList(words_, &out);
+  return out;
+}
+
+bool operator==(const VertexSet& a, const VertexSet& b) {
+  if (a.universe_ != b.universe_ || a.size_ != b.size_) return false;
+  if (a.rep_ == b.rep_) {
+    return a.rep_ == VertexSet::Rep::kSorted ? a.sorted_ == b.sorted_
+                                             : a.words_ == b.words_;
+  }
+  return a.ToSortedList() == b.ToSortedList();
+}
+
+void IntersectInto(std::span<const uint64_t> a, std::span<const uint64_t> b,
+                   std::span<uint64_t> out) {
+  util::AndWords(a, b, out);
+}
+
+size_t IntersectSize(std::span<const uint64_t> a,
+                     std::span<const uint64_t> b) {
+  return util::AndCountBits(a, b);
+}
+
+void IntersectInto(std::span<const VertexId> a, std::span<const uint64_t> b,
+                   std::vector<VertexId>* out) {
+  out->clear();
+  for (VertexId x : a) {
+    if (util::TestBit(b, x)) out->push_back(x);
+  }
+}
+
+size_t IntersectSize(std::span<const VertexId> a,
+                     std::span<const uint64_t> b) {
+  size_t count = 0;
+  for (VertexId x : a) count += util::TestBit(b, x) ? 1 : 0;
+  return count;
+}
+
+void IntersectInto(const VertexSet& a, const VertexSet& b, VertexSet* out) {
+  PMBE_DCHECK(a.universe() == b.universe());
+  using Rep = VertexSet::Rep;
+  if (a.rep() == Rep::kBitmap && b.rep() == Rep::kBitmap) {
+    std::vector<uint64_t> words(a.words().size());
+    util::AndWords(a.words(), b.words(), words);
+    *out = VertexSet::OfBitmap(std::move(words), a.universe());
+    return;
+  }
+  std::vector<VertexId> list;
+  if (a.rep() == Rep::kSorted && b.rep() == Rep::kSorted) {
+    IntersectInto(a.sorted(), b.sorted(), &list);
+  } else if (a.rep() == Rep::kSorted) {
+    IntersectInto(a.sorted(), b.words(), &list);
+  } else {
+    IntersectInto(b.sorted(), a.words(), &list);
+  }
+  *out = VertexSet::OfSorted(std::move(list), a.universe());
+}
+
+size_t IntersectSize(const VertexSet& a, const VertexSet& b) {
+  PMBE_DCHECK(a.universe() == b.universe());
+  using Rep = VertexSet::Rep;
+  if (a.rep() == Rep::kBitmap && b.rep() == Rep::kBitmap) {
+    return util::AndCountBits(a.words(), b.words());
+  }
+  if (a.rep() == Rep::kSorted && b.rep() == Rep::kSorted) {
+    return IntersectSize(a.sorted(), b.sorted());
+  }
+  return a.rep() == Rep::kSorted ? IntersectSize(a.sorted(), b.words())
+                                 : IntersectSize(b.sorted(), a.words());
+}
+
+}  // namespace mbe

@@ -1,0 +1,136 @@
+#ifndef PMBE_CORE_VERTEX_SET_H_
+#define PMBE_CORE_VERTEX_SET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitset.h"
+#include "util/common.h"
+
+/// \file
+/// The adaptive set-representation layer (docs/SET_REPRESENTATION.md).
+///
+/// A `VertexSet` is a set of vertices drawn from a *local universe*
+/// `[0, universe)` — in the enumerators this is the subtree's renumbered
+/// L0, so universes are small (bounded by one vertex degree) and bitmaps
+/// are a handful of 64-bit words. The set adaptively holds either
+///
+///  * a sorted `VertexId` list (the sparse representation every kernel in
+///    core/set_ops.h understands), or
+///  * a fixed-width bitmap of `util::WordsFor(universe)` words (the dense
+///    representation whose intersection kernels are word-AND + popcount).
+///
+/// `VertexSetPolicy` decides which: density above the threshold picks the
+/// bitmap. Conversions are cheap (O(size) up, O(universe/64 + size) down)
+/// and explicit, so hot loops can pin a representation while generic
+/// callers go through the `IntersectInto`/`IntersectSize` overload set
+/// below and never choose a strategy by hand.
+
+namespace mbe {
+
+/// Density-threshold policy: bitmap when `size >= bitmap_density *
+/// universe`. The two degenerate settings give the CI matrix its legs:
+/// `0.0` forces bitmaps everywhere, anything `> 1.0` disables them.
+struct VertexSetPolicy {
+  /// Default threshold: a bitmap probe costs universe/64 words, a list
+  /// scan costs `size` probes, so the break-even density is ~1/64; the
+  /// default stays a factor above it to absorb conversion costs.
+  double bitmap_density = 0.10;
+
+  bool PickBitmap(size_t size, size_t universe) const {
+    if (universe == 0) return false;
+    if (bitmap_density <= 0.0) return true;
+    return static_cast<double>(size) >=
+           bitmap_density * static_cast<double>(universe);
+  }
+};
+
+/// A vertex set over a local universe with an adaptive representation.
+class VertexSet {
+ public:
+  enum class Rep : uint8_t { kSorted, kBitmap };
+
+  VertexSet() = default;
+
+  /// Wraps an already-sorted duplicate-free list over `[0, universe)`.
+  static VertexSet OfSorted(std::vector<VertexId> sorted, size_t universe);
+
+  /// Wraps a bitmap of exactly `util::WordsFor(universe)` words.
+  static VertexSet OfBitmap(std::vector<uint64_t> words, size_t universe);
+
+  /// Builds from a sorted list, choosing the representation by `policy`.
+  static VertexSet Make(std::span<const VertexId> sorted, size_t universe,
+                        const VertexSetPolicy& policy = {});
+
+  Rep rep() const { return rep_; }
+  size_t size() const { return size_; }
+  size_t universe() const { return universe_; }
+  bool empty() const { return size_ == 0; }
+
+  /// O(1) on a bitmap, O(log size) on a list.
+  bool Contains(VertexId x) const;
+
+  /// Converts in place (no-op when already in `rep`).
+  void ConvertTo(Rep rep);
+
+  /// Converts to whichever representation `policy` prefers at the current
+  /// density. Returns true when a conversion happened (stats hook).
+  bool Adapt(const VertexSetPolicy& policy);
+
+  /// The sorted list; requires rep() == kSorted.
+  std::span<const VertexId> sorted() const {
+    PMBE_DCHECK(rep_ == Rep::kSorted);
+    return sorted_;
+  }
+
+  /// The bitmap words; requires rep() == kBitmap.
+  std::span<const uint64_t> words() const {
+    PMBE_DCHECK(rep_ == Rep::kBitmap);
+    return words_;
+  }
+
+  /// Materializes the elements ascending regardless of representation.
+  std::vector<VertexId> ToSortedList() const;
+
+  friend bool operator==(const VertexSet& a, const VertexSet& b);
+
+ private:
+  std::vector<VertexId> sorted_;
+  std::vector<uint64_t> words_;
+  size_t universe_ = 0;
+  size_t size_ = 0;
+  Rep rep_ = Rep::kSorted;
+};
+
+/// --- One overload set over every representation pairing ------------------
+/// `IntersectInto(a, b, out)` / `IntersectSize(a, b)` dispatch on the
+/// operand types: list×list lives in core/set_ops.h (merge/gallop),
+/// the word and mixed kernels live here, and the `VertexSet` overloads
+/// pick whichever applies so callers stop choosing strategies by hand.
+
+/// bitmap × bitmap -> bitmap (word AND). `out` may alias an operand.
+void IntersectInto(std::span<const uint64_t> a, std::span<const uint64_t> b,
+                   std::span<uint64_t> out);
+
+/// |a ∩ b| of two bitmaps over the same universe.
+size_t IntersectSize(std::span<const uint64_t> a, std::span<const uint64_t> b);
+
+/// sorted list × bitmap -> sorted list into `*out` (cleared first).
+void IntersectInto(std::span<const VertexId> a, std::span<const uint64_t> b,
+                   std::vector<VertexId>* out);
+
+/// |a ∩ b| for a sorted list against a bitmap.
+size_t IntersectSize(std::span<const VertexId> a, std::span<const uint64_t> b);
+
+/// Full dispatch over both operands' representations. The result keeps the
+/// cheapest natural representation (bitmap only when both inputs are
+/// bitmaps); call `out->Adapt(policy)` to re-apply the density policy.
+void IntersectInto(const VertexSet& a, const VertexSet& b, VertexSet* out);
+
+/// |a ∩ b| without materializing, any representation pairing.
+size_t IntersectSize(const VertexSet& a, const VertexSet& b);
+
+}  // namespace mbe
+
+#endif  // PMBE_CORE_VERTEX_SET_H_

@@ -7,6 +7,19 @@
 
 namespace mbe {
 
+util::StatusOr<BipartiteGraph> BipartiteGraph::FromEdgesChecked(
+    size_t num_left, size_t num_right, std::vector<Edge> edges) {
+  for (const Edge& e : edges) {
+    if (e.u >= num_left || e.v >= num_right) {
+      char msg[96];
+      std::snprintf(msg, sizeof(msg), "edge (%u, %u) out of range (%zu x %zu)",
+                    e.u, e.v, num_left, num_right);
+      return util::Status::InvalidArgument(msg);
+    }
+  }
+  return FromEdges(num_left, num_right, std::move(edges));
+}
+
 BipartiteGraph BipartiteGraph::FromEdges(size_t num_left, size_t num_right,
                                          std::vector<Edge> edges) {
   for (const Edge& e : edges) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/status.h"
 
 /// \file
 /// The bipartite graph substrate: an immutable compressed-sparse-row (CSR)
@@ -38,9 +39,17 @@ class BipartiteGraph {
  public:
   /// Builds a graph from an edge list. Duplicate edges are removed.
   /// `num_left`/`num_right` give the side cardinalities; every edge must
-  /// satisfy `u < num_left && v < num_right` (checked).
+  /// satisfy `u < num_left && v < num_right` — violations abort via
+  /// PMBE_CHECK in every build mode (never silently accepted in release).
+  /// Code handling untrusted input should use FromEdgesChecked instead.
   static BipartiteGraph FromEdges(size_t num_left, size_t num_right,
                                   std::vector<Edge> edges);
+
+  /// As FromEdges, but returns InvalidArgument instead of aborting when an
+  /// edge is out of range. The graceful entry point for untrusted edge
+  /// lists (file loaders, network input).
+  static util::StatusOr<BipartiteGraph> FromEdgesChecked(
+      size_t num_left, size_t num_right, std::vector<Edge> edges);
 
   /// An empty graph (no vertices, no edges).
   BipartiteGraph() = default;

@@ -97,8 +97,10 @@ util::StatusOr<BipartiteGraph> BuildFromParsed(ParsedEdges parsed) {
     num_left = parsed.header_left;
     num_right = parsed.header_right;
   }
-  return BipartiteGraph::FromEdges(num_left, num_right,
-                                   std::move(parsed.edges));
+  // Checked construction: file contents are untrusted, so an inconsistent
+  // edge list must surface as a Status, not a process abort.
+  return BipartiteGraph::FromEdgesChecked(num_left, num_right,
+                                          std::move(parsed.edges));
 }
 
 }  // namespace

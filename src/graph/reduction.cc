@@ -2,6 +2,8 @@
 
 #include <numeric>
 
+#include "util/bitset.h"
+
 namespace mbe {
 
 CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
@@ -18,21 +20,24 @@ CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
   const size_t nl = graph.num_left();
   const size_t nr = graph.num_right();
   std::vector<size_t> left_degree(nl), right_degree(nr);
-  std::vector<uint8_t> left_dead(nl, 0), right_dead(nr, 0);
+  // Dead flags as bitmap words (util/bitset.h): the peeling loop probes
+  // them once per edge, so 1 bit per vertex keeps them cache-resident.
+  std::vector<uint64_t> left_dead(util::WordsFor(nl), 0);
+  std::vector<uint64_t> right_dead(util::WordsFor(nr), 0);
   // Worklists of freshly killed vertices whose neighbors need decrementing.
   std::vector<VertexId> left_queue, right_queue;
 
   for (VertexId u = 0; u < nl; ++u) {
     left_degree[u] = graph.LeftDegree(u);
     if (left_degree[u] < q) {
-      left_dead[u] = 1;
+      util::SetBit(left_dead, u);
       left_queue.push_back(u);
     }
   }
   for (VertexId v = 0; v < nr; ++v) {
     right_degree[v] = graph.RightDegree(v);
     if (right_degree[v] < p) {
-      right_dead[v] = 1;
+      util::SetBit(right_dead, v);
       right_queue.push_back(v);
     }
   }
@@ -42,9 +47,9 @@ CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
       const VertexId u = left_queue.back();
       left_queue.pop_back();
       for (VertexId v : graph.LeftNeighbors(u)) {
-        if (right_dead[v]) continue;
+        if (util::TestBit(right_dead, v)) continue;
         if (--right_degree[v] < p) {
-          right_dead[v] = 1;
+          util::SetBit(right_dead, v);
           right_queue.push_back(v);
         }
       }
@@ -53,9 +58,9 @@ CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
       const VertexId v = right_queue.back();
       right_queue.pop_back();
       for (VertexId u : graph.RightNeighbors(v)) {
-        if (left_dead[u]) continue;
+        if (util::TestBit(left_dead, u)) continue;
         if (--left_degree[u] < q) {
-          left_dead[u] = 1;
+          util::SetBit(left_dead, u);
           left_queue.push_back(u);
         }
       }
@@ -65,13 +70,13 @@ CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
   // Dense renumbering of the survivors.
   std::vector<VertexId> left_new(nl, kInvalidVertex), right_new(nr, kInvalidVertex);
   for (VertexId u = 0; u < nl; ++u) {
-    if (!left_dead[u]) {
+    if (!util::TestBit(left_dead, u)) {
       left_new[u] = static_cast<VertexId>(out.left_old.size());
       out.left_old.push_back(u);
     }
   }
   for (VertexId v = 0; v < nr; ++v) {
-    if (!right_dead[v]) {
+    if (!util::TestBit(right_dead, v)) {
       right_new[v] = static_cast<VertexId>(out.right_old.size());
       out.right_old.push_back(v);
     }
@@ -81,9 +86,9 @@ CoreReduction PqCoreReduce(const BipartiteGraph& graph, size_t p, size_t q) {
 
   std::vector<Edge> edges;
   for (VertexId u = 0; u < nl; ++u) {
-    if (left_dead[u]) continue;
+    if (util::TestBit(left_dead, u)) continue;
     for (VertexId v : graph.LeftNeighbors(u)) {
-      if (!right_dead[v]) edges.push_back({left_new[u], right_new[v]});
+      if (!util::TestBit(right_dead, v)) edges.push_back({left_new[u], right_new[v]});
     }
   }
   out.graph = BipartiteGraph::FromEdges(out.left_old.size(),

@@ -6,21 +6,21 @@ namespace mbe {
 
 void TwoHopScratch::RightTwoHop(const BipartiteGraph& graph, VertexId v,
                                 std::vector<VertexId>* out) {
-  PMBE_DCHECK(mark_.size() >= graph.num_right());
+  PMBE_DCHECK(mark_.size() >= util::WordsFor(graph.num_right()));
   out->clear();
   touched_.clear();
   for (VertexId u : graph.RightNeighbors(v)) {
     for (VertexId w : graph.LeftNeighbors(u)) {
       if (w == v) continue;
-      if (!mark_[w]) {
-        mark_[w] = 1;
+      if (!util::TestBit(mark_, w)) {
+        util::SetBit(mark_, w);
         touched_.push_back(w);
       }
     }
   }
   out->assign(touched_.begin(), touched_.end());
   std::sort(out->begin(), out->end());
-  for (VertexId w : touched_) mark_[w] = 0;
+  util::ClearBits(touched_, mark_);
 }
 
 namespace {

@@ -1,9 +1,11 @@
 #ifndef PMBE_GRAPH_TWO_HOP_H_
 #define PMBE_GRAPH_TWO_HOP_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "util/bitset.h"
 #include "util/common.h"
 
 /// \file
@@ -15,12 +17,14 @@
 
 namespace mbe {
 
-/// Reusable scratch for repeated two-hop computations; holds a mark array
-/// sized to one side of the graph.
+/// Reusable scratch for repeated two-hop computations; holds a bitmap mark
+/// over one side of the graph (util/bitset.h words — 1 bit per vertex, so
+/// the scratch for even the largest side stays cache-resident).
 class TwoHopScratch {
  public:
   /// Prepares scratch for graphs with at most `num_right` right vertices.
-  explicit TwoHopScratch(size_t num_right) : mark_(num_right, 0) {}
+  explicit TwoHopScratch(size_t num_right)
+      : mark_(util::WordsFor(num_right), 0) {}
 
   /// Computes N2(v) on the right side into `out` (sorted ascending).
   /// `out` is cleared first.
@@ -28,7 +32,7 @@ class TwoHopScratch {
                    std::vector<VertexId>* out);
 
  private:
-  std::vector<uint8_t> mark_;
+  std::vector<uint64_t> mark_;
   std::vector<VertexId> touched_;
 };
 

@@ -1,0 +1,108 @@
+#ifndef PMBE_UTIL_BITSET_H_
+#define PMBE_UTIL_BITSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+/// \file
+/// Word-level bitmap primitives over `uint64_t` spans. These are the
+/// fixed-width kernels underneath core/vertex_set.h (the hybrid
+/// sorted-list/bitmap set layer): a set over a universe of `m` vertices is
+/// `WordsFor(m)` consecutive words, bit `x` of the set being bit `x % 64`
+/// of word `x / 64`. Kept header-only and dependency-free so both the
+/// graph preprocessing layer and the enumeration core can use them.
+
+namespace mbe::util {
+
+/// Number of 64-bit words needed for a universe of `universe` elements.
+constexpr size_t WordsFor(size_t universe) { return (universe + 63) / 64; }
+
+inline void SetBit(std::span<uint64_t> words, VertexId x) {
+  PMBE_DCHECK(x / 64 < words.size());
+  words[x >> 6] |= uint64_t{1} << (x & 63);
+}
+
+inline void ClearBit(std::span<uint64_t> words, VertexId x) {
+  PMBE_DCHECK(x / 64 < words.size());
+  words[x >> 6] &= ~(uint64_t{1} << (x & 63));
+}
+
+inline bool TestBit(std::span<const uint64_t> words, VertexId x) {
+  PMBE_DCHECK(x / 64 < words.size());
+  return (words[x >> 6] >> (x & 63)) & 1;
+}
+
+/// Zeroes all words.
+inline void ClearWords(std::span<uint64_t> words) {
+  std::memset(words.data(), 0, words.size() * sizeof(uint64_t));
+}
+
+/// Sets the bit of every element of sorted-or-not list `xs`.
+inline void SetBits(std::span<const VertexId> xs, std::span<uint64_t> words) {
+  for (VertexId x : xs) SetBit(words, x);
+}
+
+/// Clears the bit of every element of `xs` (sparse clear: proportional to
+/// |xs|, not the universe).
+inline void ClearBits(std::span<const VertexId> xs, std::span<uint64_t> words) {
+  for (VertexId x : xs) ClearBit(words, x);
+}
+
+/// Population count of the whole bitmap.
+inline size_t CountBits(std::span<const uint64_t> words) {
+  size_t count = 0;
+  for (uint64_t w : words) count += static_cast<size_t>(std::popcount(w));
+  return count;
+}
+
+/// |a ∩ b| for two bitmaps over the same universe: AND + popcount, no
+/// materialization. The O(m/64) kernel the dense classification path uses.
+inline size_t AndCountBits(std::span<const uint64_t> a,
+                           std::span<const uint64_t> b) {
+  PMBE_DCHECK(a.size() == b.size());
+  size_t count = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    count += static_cast<size_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+/// out = a ∩ b (word-wise AND). `out` may alias `a` or `b`.
+inline void AndWords(std::span<const uint64_t> a, std::span<const uint64_t> b,
+                     std::span<uint64_t> out) {
+  PMBE_DCHECK(a.size() == b.size() && out.size() == a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
+}
+
+/// True iff every bit of `a` is set in `b`.
+inline bool IsSubsetWords(std::span<const uint64_t> a,
+                          std::span<const uint64_t> b) {
+  PMBE_DCHECK(a.size() == b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & ~b[i]) != 0) return false;
+  }
+  return true;
+}
+
+/// Appends the elements of the bitmap to `*out` in ascending order
+/// (`out` is NOT cleared; callers compose decoded runs into arenas).
+inline void AppendBitsToList(std::span<const uint64_t> words,
+                             std::vector<VertexId>* out) {
+  for (size_t i = 0; i < words.size(); ++i) {
+    uint64_t w = words[i];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      out->push_back(static_cast<VertexId>(i * 64 + static_cast<size_t>(bit)));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace mbe::util
+
+#endif  // PMBE_UTIL_BITSET_H_

@@ -130,6 +130,40 @@ TEST(BipartiteGraphTest, EmptyAndDegenerate) {
   EXPECT_TRUE(no_edges.LeftNeighbors(0).empty());
 }
 
+TEST(BipartiteGraphTest, FromEdgesCheckedAcceptsValidEdges) {
+  auto got = BipartiteGraph::FromEdgesChecked(4, 4, SampleGraph().ToEdges());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), SampleGraph());
+}
+
+TEST(BipartiteGraphTest, FromEdgesCheckedRejectsOutOfRange) {
+  // Left id out of range.
+  auto left_bad = BipartiteGraph::FromEdgesChecked(2, 3, {{2, 0}});
+  ASSERT_FALSE(left_bad.ok());
+  EXPECT_EQ(left_bad.status().code(), util::StatusCode::kInvalidArgument);
+  // Right id out of range.
+  auto right_bad = BipartiteGraph::FromEdgesChecked(2, 3, {{0, 3}});
+  ASSERT_FALSE(right_bad.ok());
+  EXPECT_EQ(right_bad.status().code(), util::StatusCode::kInvalidArgument);
+  // Any edge into an empty side is out of range.
+  auto empty_side = BipartiteGraph::FromEdgesChecked(0, 0, {{0, 0}});
+  EXPECT_FALSE(empty_side.ok());
+}
+
+TEST(BipartiteGraphTest, FromEdgesCheckedEmptyAndZeroEdge) {
+  auto empty = BipartiteGraph::FromEdgesChecked(0, 0, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().num_left(), 0u);
+  EXPECT_EQ(empty.value().num_edges(), 0u);
+
+  auto no_edges = BipartiteGraph::FromEdgesChecked(5, 7, {});
+  ASSERT_TRUE(no_edges.ok());
+  EXPECT_EQ(no_edges.value().num_left(), 5u);
+  EXPECT_EQ(no_edges.value().num_right(), 7u);
+  EXPECT_EQ(no_edges.value().num_edges(), 0u);
+  EXPECT_TRUE(no_edges.value().LeftNeighbors(4).empty());
+}
+
 TEST(BipartiteGraphTest, SummaryAndMemory) {
   BipartiteGraph g = SampleGraph();
   EXPECT_EQ(g.Summary(), "|U|=4 |V|=4 |E|=8");

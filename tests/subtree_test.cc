@@ -38,7 +38,9 @@ TEST(SubtreeBuilderTest, RootOfFirstVertex) {
   ASSERT_EQ(root.entries.size(), 1u);
   EXPECT_EQ(root.entries[0].w, 3u);
   EXPECT_FALSE(root.entries[0].forbidden);
-  EXPECT_EQ(root.entries[0].loc, (std::vector<VertexId>{1}));
+  auto loc = root.LocOf(root.entries[0]);
+  EXPECT_EQ(std::vector<VertexId>(loc.begin(), loc.end()),
+            (std::vector<VertexId>{1}));
 }
 
 TEST(SubtreeBuilderTest, LaterVertexSeesForbiddenPredecessors) {
@@ -91,11 +93,12 @@ TEST(SubtreeBuilderTest, EntriesCoverExactlyUsefulTwoHops) {
     // Every entry has a nonempty local that is a strict subset of L0,
     // sorted, and consistent with the adjacency.
     for (const RootEntry& entry : root.entries) {
-      EXPECT_FALSE(entry.loc.empty());
-      EXPECT_LT(entry.loc.size(), root.l0.size());
-      EXPECT_TRUE(std::is_sorted(entry.loc.begin(), entry.loc.end()));
+      auto loc = root.LocOf(entry);
+      EXPECT_FALSE(loc.empty());
+      EXPECT_LT(loc.size(), root.l0.size());
+      EXPECT_TRUE(std::is_sorted(loc.begin(), loc.end()));
       EXPECT_EQ(entry.forbidden, entry.w < v);
-      for (VertexId u : entry.loc) {
+      for (VertexId u : loc) {
         EXPECT_TRUE(g.HasEdge(u, entry.w));
         EXPECT_TRUE(g.HasEdge(u, v));
       }

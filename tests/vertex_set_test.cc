@@ -1,0 +1,223 @@
+// Unit tests for the adaptive set-representation layer: the density
+// policy, representation conversions, and the IntersectInto/IntersectSize
+// overload set (word kernels, mixed kernels, and full VertexSet dispatch)
+// cross-checked against the sorted-list reference from core/set_ops.h.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/set_ops.h"
+#include "core/vertex_set.h"
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace mbe {
+namespace {
+
+std::vector<VertexId> RandomSortedSet(size_t n, size_t universe,
+                                      util::Rng& rng) {
+  std::vector<VertexId> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<VertexId>(rng.Below(universe)));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<uint64_t> ToWords(std::span<const VertexId> set, size_t universe) {
+  std::vector<uint64_t> words(util::WordsFor(universe), 0);
+  util::SetBits(set, words);
+  return words;
+}
+
+// --- Policy ----------------------------------------------------------------
+
+TEST(VertexSetPolicyTest, ThresholdSemantics) {
+  VertexSetPolicy p;  // default 0.10
+  EXPECT_FALSE(p.PickBitmap(9, 100));
+  EXPECT_TRUE(p.PickBitmap(10, 100));   // size >= 0.1 * universe
+  EXPECT_FALSE(p.PickBitmap(0, 100));
+  EXPECT_FALSE(p.PickBitmap(5, 0));     // empty universe never bitmaps
+}
+
+TEST(VertexSetPolicyTest, DegenerateSettings) {
+  VertexSetPolicy force{0.0};
+  EXPECT_TRUE(force.PickBitmap(0, 100));
+  EXPECT_TRUE(force.PickBitmap(1, 1'000'000));
+  EXPECT_FALSE(force.PickBitmap(0, 0));  // still nothing to bitmap
+
+  VertexSetPolicy never{2.0};
+  EXPECT_FALSE(never.PickBitmap(100, 100));  // even a full set stays a list
+}
+
+// --- Construction and conversion -------------------------------------------
+
+TEST(VertexSetTest, MakeFollowsPolicy) {
+  const std::vector<VertexId> sparse = {3, 17, 90};
+  const std::vector<VertexId> dense = {1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 97};
+  VertexSet s = VertexSet::Make(sparse, 100);
+  EXPECT_EQ(s.rep(), VertexSet::Rep::kSorted);
+  VertexSet d = VertexSet::Make(dense, 100);
+  EXPECT_EQ(d.rep(), VertexSet::Rep::kBitmap);
+  EXPECT_EQ(d.size(), dense.size());
+  EXPECT_EQ(d.ToSortedList(), dense);
+}
+
+TEST(VertexSetTest, ContainsBothReps) {
+  const std::vector<VertexId> elems = {0, 7, 63, 64, 65, 127};
+  for (auto rep : {VertexSet::Rep::kSorted, VertexSet::Rep::kBitmap}) {
+    VertexSet s = VertexSet::OfSorted(elems, 130);
+    s.ConvertTo(rep);
+    for (VertexId x : elems) EXPECT_TRUE(s.Contains(x)) << x;
+    EXPECT_FALSE(s.Contains(1));
+    EXPECT_FALSE(s.Contains(66));
+    EXPECT_FALSE(s.Contains(129));
+    EXPECT_FALSE(s.Contains(1000));  // beyond the universe
+  }
+}
+
+TEST(VertexSetTest, ConvertRoundTripsAcrossWordBoundaries) {
+  util::Rng rng(7);
+  for (size_t universe : {1u, 63u, 64u, 65u, 128u, 1000u}) {
+    auto elems = RandomSortedSet(universe / 2 + 1, universe, rng);
+    VertexSet s = VertexSet::OfSorted(elems, universe);
+    s.ConvertTo(VertexSet::Rep::kBitmap);
+    EXPECT_EQ(s.size(), elems.size());
+    s.ConvertTo(VertexSet::Rep::kSorted);
+    EXPECT_EQ(s.ToSortedList(), elems) << "universe=" << universe;
+  }
+}
+
+TEST(VertexSetTest, AdaptReportsConversions) {
+  VertexSet s = VertexSet::OfSorted({1, 2, 3, 4}, 8);  // density 0.5
+  EXPECT_TRUE(s.Adapt(VertexSetPolicy{}));  // 0.5 >= 0.1 -> bitmap
+  EXPECT_EQ(s.rep(), VertexSet::Rep::kBitmap);
+  EXPECT_FALSE(s.Adapt(VertexSetPolicy{}));  // already there
+  EXPECT_TRUE(s.Adapt(VertexSetPolicy{2.0}));  // back to a list
+  EXPECT_EQ(s.rep(), VertexSet::Rep::kSorted);
+}
+
+TEST(VertexSetTest, EqualityIsRepresentationIndependent) {
+  const std::vector<VertexId> elems = {2, 3, 5, 7};
+  VertexSet list = VertexSet::OfSorted(elems, 10);
+  VertexSet bitmap = VertexSet::OfBitmap(ToWords(elems, 10), 10);
+  EXPECT_EQ(list, bitmap);
+  VertexSet other = VertexSet::OfSorted({2, 3, 5, 8}, 10);
+  EXPECT_FALSE(list == other);
+}
+
+// --- Kernel overload set ----------------------------------------------------
+
+TEST(SetKernelsTest, WordKernelsMatchListReference) {
+  util::Rng rng(11);
+  for (size_t universe : {40u, 64u, 130u, 500u}) {
+    auto a = RandomSortedSet(universe / 3, universe, rng);
+    auto b = RandomSortedSet(universe / 2, universe, rng);
+    std::vector<VertexId> want;
+    Intersect(a, b, &want);
+
+    auto wa = ToWords(a, universe), wb = ToWords(b, universe);
+    std::vector<uint64_t> wout(wa.size());
+    IntersectInto(wa, wb, std::span<uint64_t>(wout));
+    std::vector<VertexId> got;
+    util::AppendBitsToList(wout, &got);
+    EXPECT_EQ(got, want) << "universe=" << universe;
+    EXPECT_EQ(IntersectSize(std::span<const uint64_t>(wa),
+                            std::span<const uint64_t>(wb)),
+              want.size());
+  }
+}
+
+TEST(SetKernelsTest, WordKernelAliasingIsSafe) {
+  const size_t universe = 200;
+  util::Rng rng(13);
+  auto a = RandomSortedSet(60, universe, rng);
+  auto b = RandomSortedSet(60, universe, rng);
+  auto wa = ToWords(a, universe), wb = ToWords(b, universe);
+  std::vector<VertexId> want;
+  Intersect(a, b, &want);
+  // out aliases the first operand — the in-place form the enumerator uses.
+  IntersectInto(wa, wb, std::span<uint64_t>(wa));
+  std::vector<VertexId> got;
+  util::AppendBitsToList(wa, &got);
+  EXPECT_EQ(got, want);
+}
+
+TEST(SetKernelsTest, MixedKernelsMatchListReference) {
+  util::Rng rng(17);
+  const size_t universe = 300;
+  auto a = RandomSortedSet(80, universe, rng);
+  auto b = RandomSortedSet(150, universe, rng);
+  std::vector<VertexId> want;
+  Intersect(a, b, &want);
+
+  auto wb = ToWords(b, universe);
+  std::vector<VertexId> got;
+  IntersectInto(std::span<const VertexId>(a), wb, &got);
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(IntersectSize(std::span<const VertexId>(a),
+                          std::span<const uint64_t>(wb)),
+            want.size());
+}
+
+TEST(SetKernelsTest, IntersectIntoStrategiesAgree) {
+  util::Rng rng(19);
+  for (int round = 0; round < 50; ++round) {
+    const size_t universe = 16 + rng.Below(512);
+    auto a = RandomSortedSet(rng.Below(universe), universe, rng);
+    auto b = RandomSortedSet(rng.Below(universe), universe, rng);
+    std::vector<VertexId> merge, gallop, auto_out;
+    IntersectInto(a, b, &merge, IntersectStrategy::kMerge);
+    IntersectInto(a, b, &gallop, IntersectStrategy::kGallop);
+    IntersectInto(a, b, &auto_out, IntersectStrategy::kAuto);
+    EXPECT_EQ(gallop, merge) << "round=" << round;
+    EXPECT_EQ(auto_out, merge) << "round=" << round;
+  }
+}
+
+TEST(SetKernelsTest, VertexSetDispatchAllRepPairings) {
+  util::Rng rng(23);
+  const size_t universe = 256;
+  auto a = RandomSortedSet(90, universe, rng);
+  auto b = RandomSortedSet(120, universe, rng);
+  std::vector<VertexId> want;
+  Intersect(a, b, &want);
+
+  for (auto ra : {VertexSet::Rep::kSorted, VertexSet::Rep::kBitmap}) {
+    for (auto rb : {VertexSet::Rep::kSorted, VertexSet::Rep::kBitmap}) {
+      VertexSet sa = VertexSet::OfSorted(a, universe);
+      VertexSet sb = VertexSet::OfSorted(b, universe);
+      sa.ConvertTo(ra);
+      sb.ConvertTo(rb);
+      VertexSet out;
+      IntersectInto(sa, sb, &out);
+      EXPECT_EQ(out.ToSortedList(), want);
+      EXPECT_EQ(out.universe(), universe);
+      // Bitmap result only when both operands are bitmaps.
+      const bool both_bitmap = ra == VertexSet::Rep::kBitmap &&
+                               rb == VertexSet::Rep::kBitmap;
+      EXPECT_EQ(out.rep() == VertexSet::Rep::kBitmap, both_bitmap);
+      EXPECT_EQ(IntersectSize(sa, sb), want.size());
+    }
+  }
+}
+
+TEST(SetKernelsTest, EmptyOperands) {
+  VertexSet empty = VertexSet::OfSorted({}, 64);
+  VertexSet full = VertexSet::Make(std::vector<VertexId>{0, 1, 2, 3}, 64,
+                                   VertexSetPolicy{0.0});
+  VertexSet out;
+  IntersectInto(empty, full, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(IntersectSize(empty, full), 0u);
+  // Zero-universe sets intersect to nothing without touching words.
+  VertexSet z1 = VertexSet::OfSorted({}, 0), z2 = VertexSet::OfSorted({}, 0);
+  IntersectInto(z1, z2, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace mbe

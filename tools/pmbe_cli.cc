@@ -62,6 +62,9 @@ int main(int argc, char** argv) {
   flags.AddInt("limit", 0, "deprecated alias of --max_results");
   flags.AddInt("min-left", 1, "only bicliques with |L| >= this");
   flags.AddInt("min-right", 1, "only bicliques with |R| >= this");
+  flags.AddDouble("bitmap_density", 0.10,
+                  "density threshold for bitmap-set classification "
+                  "(0 = always bitmap, > 1 = never)");
   flags.AddBool("max-biclique", false,
                 "find one maximum-edge biclique instead of enumerating");
   flags.AddString("output", "", "write bicliques to this file");
@@ -99,6 +102,7 @@ int main(int argc, char** argv) {
   options.threads = static_cast<unsigned>(flags.GetInt("threads"));
   options.mbet.min_left = static_cast<uint32_t>(flags.GetInt("min-left"));
   options.mbet.min_right = static_cast<uint32_t>(flags.GetInt("min-right"));
+  options.mbet.bitmap_density = flags.GetDouble("bitmap_density");
 
   // --- Run control --------------------------------------------------------
   // Negative values would be silently reinterpreted by the unsigned /
@@ -218,6 +222,14 @@ int main(int argc, char** argv) {
                       static_cast<double>(s.local_scan_size),
                   util::HumanCount(static_cast<double>(s.trie_probes)).c_str(),
                   util::HumanCount(static_cast<double>(s.local_scan_size))
+                      .c_str());
+    }
+    std::printf("  bitmap kernels:      %llu calls, %llu conversions\n",
+                static_cast<unsigned long long>(s.bitmap_kernel_calls),
+                static_cast<unsigned long long>(s.bitmap_conversions));
+    if (s.arena_peak_bytes > 0) {
+      std::printf("  arena peak:          %s bytes (per-thread scratch)\n",
+                  util::HumanCount(static_cast<double>(s.arena_peak_bytes))
                       .c_str());
     }
   }

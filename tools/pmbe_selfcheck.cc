@@ -147,6 +147,25 @@ int main(int argc, char** argv) {
       configs.push_back({"MBET random order w/o Q-prune", o});
     }
     {
+      // Bitmap classification forced onto every eligible node. Disabling
+      // the trie removes the higher-priority classifier so the bitmap
+      // kernels actually run everywhere, not just on trie-rejected nodes.
+      Options o;
+      o.mbet.bitmap_density = 0.0;
+      o.mbet.use_trie = false;
+      configs.push_back({"MBET forced bitmap w/o trie", o});
+    }
+    {
+      Options o;
+      o.mbet.bitmap_density = 0.0;
+      configs.push_back({"MBET forced bitmap", o});
+    }
+    {
+      Options o;
+      o.mbet.bitmap_density = 2.0;
+      configs.push_back({"MBET bitmap disabled", o});
+    }
+    {
       Options o;
       o.threads = 4;
       configs.push_back({"MBET x4", o});
