@@ -1,8 +1,11 @@
 // F7 — parallel speedup: MBET under 1..N threads with dynamic
-// (shared-counter) vs static (pre-partitioned) scheduling, plus parallel
-// iMBEA (the ParMBE stand-in). Expected shape: near-linear dynamic
-// speedup to the core count; static partitioning stalls on skewed
-// datasets because one block holds the giant subtrees.
+// (shared-counter) vs static (pre-partitioned) vs stealing (per-worker
+// deques + subtree splitting) scheduling, plus parallel iMBEA (the ParMBE
+// stand-in). Expected shape: near-linear dynamic/stealing speedup to the
+// core count; static partitioning stalls on skewed datasets because one
+// block holds the giant subtrees; stealing additionally splits those giant
+// subtrees, which dynamic cannot (visible in the counters table and in the
+// worker busy share even when wall-clock parallelism is unavailable).
 
 #include <cstdio>
 #include <thread>
@@ -21,11 +24,17 @@ int main(int argc, char** argv) {
   std::vector<unsigned> thread_counts = {1, 2, 4};
   if (hw >= 8) thread_counts.push_back(8);
   if (hw > 8) thread_counts.push_back(hw);
+  const unsigned max_threads = thread_counts.back();
 
   bench::PrintBanner("F7", "parallel speedup and scheduling discipline");
   std::vector<std::string> headers = {"dataset", "config"};
   for (unsigned t : thread_counts) headers.push_back("T=" + std::to_string(t));
   bench::Table table(headers);
+  // Scheduler counters at the highest thread count: load balance is the
+  // signal that survives even on machines without enough cores for
+  // wall-clock speedup (busy share ~1.0 means no worker starved).
+  bench::Table counters({"dataset", "config", "steals", "splits", "flushes",
+                         "busy_share"});
 
   struct Config {
     const char* label;
@@ -35,7 +44,9 @@ int main(int argc, char** argv) {
   const Config configs[] = {
       {"MBET dynamic", Algorithm::kMbet, Scheduling::kDynamic},
       {"MBET static", Algorithm::kMbet, Scheduling::kStatic},
+      {"MBET stealing", Algorithm::kMbet, Scheduling::kStealing},
       {"ParMBE (iMBEA)", Algorithm::kImbea, Scheduling::kDynamic},
+      {"ParMBE stealing", Algorithm::kImbea, Scheduling::kStealing},
   };
 
   for (const std::string& name : bench::ResolveSuite(flags.GetString("suite"))) {
@@ -49,10 +60,23 @@ int main(int argc, char** argv) {
         options.scheduling = config.scheduling;
         bench::RunOutcome run = bench::TimedRun(graph, options, budget);
         row.push_back(bench::TimeCell(run, budget));
+        if (threads == max_threads) {
+          const double busy = static_cast<double>(run.stats.busy_ns);
+          const double total = busy + static_cast<double>(run.stats.idle_ns);
+          char share[32];
+          std::snprintf(share, sizeof(share), "%.3f",
+                        total > 0 ? busy / total : 1.0);
+          counters.AddRow({name, config.label,
+                           std::to_string(run.stats.steals),
+                           std::to_string(run.stats.split_tasks),
+                           std::to_string(run.stats.sink_flushes), share});
+        }
       }
       table.AddRow(std::move(row));
     }
   }
   bench::EmitTable(table, flags);
+  std::printf("\nscheduler counters at T=%u:\n", max_threads);
+  counters.Print();
   return 0;
 }

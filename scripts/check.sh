@@ -79,4 +79,22 @@ if [[ "${matrix_count[ON]}" != "${matrix_count[OFF]}" ]]; then
 fi
 echo "bitmap matrix OK: ${matrix_count[ON]} bicliques in both legs"
 
+echo "=== ThreadSanitizer leg: work-stealing deque + parallel driver ==="
+# The Chase–Lev deque keeps all shared state in std::atomic precisely so
+# TSan can verify the protocol. Build the concurrency-relevant tests with
+# -fsanitize=thread (mutually exclusive with ASan, hence a separate tree)
+# and run the deque stress tests plus the parallel, run-control, and sink
+# suites under it.
+TSAN_DIR="$BUILD_DIR-tsan"
+TSAN_FLAGS="-fsanitize=thread -fno-sanitize-recover=all"
+cmake -B "$TSAN_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="$TSAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$TSAN_FLAGS"
+cmake --build "$TSAN_DIR" -j "$(nproc)" --target \
+  work_stealing_test parallel_test run_control_test sink_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'TaskDeque|TaskEncoding|WorkStealing|Scheduling|Stealing|ThreadPool|ParallelEnumerate|RunControl|RunController|ControlledSink|BufferedSink|BudgetSink|CountSink|FingerprintSink'
+echo "tsan leg OK"
+
 echo "=== all checks passed ==="

@@ -96,6 +96,11 @@ util::Status Options::Validate() const {
         "mbet.bitmap_density must be >= 0 (0 forces bitmaps, > 1 disables "
         "them)");
   }
+  if (max_split == 0 || max_split > kMaxTaskShards) {
+    return util::Status::InvalidArgument(
+        "max_split must be in [1, " + std::to_string(kMaxTaskShards) +
+        "] (1 disables subtree splitting)");
+  }
   if (threads > 1 && mbet.best_edges != nullptr) {
     return util::Status::InvalidArgument(
         "mbet.best_edges (branch-and-bound watermark) is unsynchronized "
@@ -143,6 +148,30 @@ class TranslatingSink : public ResultSink {
     }
   }
 
+  void EmitBatch(const BicliqueBatch& batch) override {
+    // Translate into a stack-local batch (this sink is shared by all
+    // workers, so no member scratch) and forward in one call, preserving
+    // the one-lock amortization of the buffered upstream.
+    BicliqueBatch translated;
+    std::vector<VertexId> l, r;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const auto left = batch.left(i);
+      const auto right = batch.right(i);
+      l.resize(left.size());
+      r.resize(right.size());
+      for (size_t j = 0; j < left.size(); ++j) l[j] = left_map_[left[j]];
+      for (size_t j = 0; j < right.size(); ++j) r[j] = right_map_[right[j]];
+      std::sort(l.begin(), l.end());
+      std::sort(r.begin(), r.end());
+      if (swapped_) {
+        translated.Append(r, l);
+      } else {
+        translated.Append(l, r);
+      }
+    }
+    inner_->EmitBatch(translated);
+  }
+
   bool ShouldStop() const override { return inner_->ShouldStop(); }
 
  private:
@@ -164,6 +193,14 @@ class MbetWorker : public SubtreeWorker {
   void EnumerateSubtree(VertexId v, ResultSink* sink) override {
     engine_.EnumerateSubtree(v, sink);
   }
+  uint32_t SplitHint(VertexId v, uint32_t max_shards,
+                     uint64_t min_work) override {
+    return engine_.SplitHint(v, max_shards, min_work);
+  }
+  void EnumerateShard(VertexId v, uint32_t shard, uint32_t num_shards,
+                      ResultSink* sink) override {
+    engine_.EnumerateShard(v, shard, num_shards, sink);
+  }
   EnumStats stats() const override { return engine_.stats(); }
 
  private:
@@ -178,6 +215,14 @@ class ImbeaWorker : public SubtreeWorker {
   }
   void EnumerateSubtree(VertexId v, ResultSink* sink) override {
     engine_.EnumerateSubtree(v, sink);
+  }
+  uint32_t SplitHint(VertexId v, uint32_t max_shards,
+                     uint64_t min_work) override {
+    return engine_.SplitHint(v, max_shards, min_work);
+  }
+  void EnumerateShard(VertexId v, uint32_t shard, uint32_t num_shards,
+                      ResultSink* sink) override {
+    engine_.EnumerateShard(v, shard, num_shards, sink);
   }
   EnumStats stats() const override { return engine_.stats(); }
 
@@ -289,6 +334,7 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
     popts.threads = options.threads;
     popts.scheduling = options.scheduling;
     popts.controller = ctrl;
+    popts.max_split = options.max_split;
     WorkerFactory factory;
     if (options.algorithm == Algorithm::kMbet ||
         options.algorithm == Algorithm::kMbetM) {

@@ -83,7 +83,12 @@ struct Options {
   /// Worker threads. >1 uses the per-vertex subtree decomposition, which
   /// is supported by kMbet, kMbetM, kImbea and kOombeaLite.
   unsigned threads = 1;
-  Scheduling scheduling = Scheduling::kDynamic;
+  Scheduling scheduling = Scheduling::kStealing;
+
+  /// Maximum shards a heavy subtree is split into under kStealing (1
+  /// disables subtree splitting; ignored by the other disciplines). See
+  /// docs/PARALLELISM.md.
+  uint32_t max_split = 8;
 
   /// Ablation switches forwarded to MBET (trie / aggregation / Q pruning),
   /// plus the size thresholds min_left/min_right.

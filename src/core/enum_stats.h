@@ -47,6 +47,21 @@ struct EnumStats {
   /// bytes. NOT additive: merged via max (workers' arenas coexist, but
   /// the per-thread peak is the capacity-planning number).
   uint64_t arena_peak_bytes = 0;
+  /// Tasks taken from another worker's deque (Scheduling::kStealing only).
+  uint64_t steals = 0;
+  /// Shard tasks produced by splitting heavy subtrees (counts every shard
+  /// of a split subtree, including the one the splitter runs itself).
+  uint64_t split_tasks = 0;
+  /// Batched flushes performed by the per-worker BufferedSinks; together
+  /// with `maximal` this gives the emissions-per-lock amortization.
+  uint64_t sink_flushes = 0;
+  /// Wall time workers spent executing subtree/shard tasks, summed over
+  /// workers, in nanoseconds (parallel driver only).
+  uint64_t busy_ns = 0;
+  /// Wall time workers spent waiting for work (steal attempts, backoff),
+  /// summed over workers, in nanoseconds. busy/(busy+idle) is the
+  /// scheduler's load-balance figure of merit.
+  uint64_t idle_ns = 0;
 
   void MergeFrom(const EnumStats& other) {
     nodes_expanded += other.nodes_expanded;
@@ -63,6 +78,11 @@ struct EnumStats {
     if (other.arena_peak_bytes > arena_peak_bytes) {
       arena_peak_bytes = other.arena_peak_bytes;
     }
+    steals += other.steals;
+    split_tasks += other.split_tasks;
+    sink_flushes += other.sink_flushes;
+    busy_ns += other.busy_ns;
+    idle_ns += other.idle_ns;
   }
 };
 

@@ -41,9 +41,11 @@ uint32_t RunController::RegisterWorker() {
 }
 
 bool RunController::AdmitEmit() {
-  // Once the run is stopping, nothing more reaches the sink: the emitted
-  // set is exactly the prefix admitted before the stop tripped.
-  if (stop_requested()) return false;
+  // Only the result budget rejects emissions — and it is exact by the
+  // counter alone, so no pre-check on the stop flag is needed (or wanted:
+  // a cancel/deadline stop must not drop the buffered results workers
+  // flush while draining; each one is a genuine maximal biclique and
+  // belongs to the delivered prefix).
   const uint64_t n = results_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (spec_.max_results > 0) {
     if (n > spec_.max_results) {

@@ -130,7 +130,11 @@ class RunController {
 
   /// Result accounting: reserves one emission against `max_results`.
   /// Returns false when the budget is already exhausted (the emission must
-  /// be dropped); trips the stop flag when the budget is reached.
+  /// be dropped); trips the stop flag when the budget is reached. Stops
+  /// for other reasons (cancel, deadline, node budget) do NOT reject
+  /// emissions: every produced biclique is genuine, and workers flush
+  /// their BufferedSink remainders while draining after a stop — dropping
+  /// those would break the valid-prefix contract.
   bool AdmitEmit();
 
   /// Termination reason so far: kComplete until a stop trips.
@@ -218,6 +222,20 @@ class ControlledSink : public ResultSink {
             std::span<const VertexId> right) override {
     if (!controller_->AdmitEmit()) return;
     inner_->Emit(left, right);
+  }
+
+  void EmitBatch(const BicliqueBatch& batch) override {
+    // Admit each emission so `max_results` stays exact under batching;
+    // the whole-batch fast path keeps the downstream amortization.
+    size_t admitted = 0;
+    while (admitted < batch.size() && controller_->AdmitEmit()) ++admitted;
+    if (admitted == batch.size()) {
+      inner_->EmitBatch(batch);
+      return;
+    }
+    for (size_t i = 0; i < admitted; ++i) {
+      inner_->Emit(batch.left(i), batch.right(i));
+    }
   }
 
   bool ShouldStop() const override {

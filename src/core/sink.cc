@@ -76,6 +76,11 @@ void BudgetSink::Emit(std::span<const VertexId> left,
   emitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void BudgetSink::EmitBatch(const BicliqueBatch& batch) {
+  inner_->EmitBatch(batch);
+  emitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+}
+
 bool BudgetSink::ShouldStop() const {
   if (inner_->ShouldStop()) return true;
   if (max_results_ > 0 &&
@@ -83,12 +88,44 @@ bool BudgetSink::ShouldStop() const {
     return true;
   }
   if (deadline_seconds_ > 0) {
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    // Sample the clock once per stride; the first call (polls_ == 0)
+    // checks immediately so short deadlines on tiny runs still trip.
+    if (polls_.fetch_add(1, std::memory_order_relaxed) % kClockStride != 0) {
+      return false;
+    }
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
             .count();
-    if (elapsed >= deadline_seconds_) return true;
+    if (elapsed >= deadline_seconds_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
   }
   return false;
+}
+
+BufferedSink::BufferedSink(ResultSink* inner, size_t max_results,
+                           size_t max_bytes)
+    : inner_(inner),
+      max_results_(std::max<size_t>(1, max_results)),
+      max_bytes_(max_bytes) {
+  PMBE_CHECK(inner != nullptr);
+}
+
+BufferedSink::~BufferedSink() { Flush(); }
+
+void BufferedSink::Emit(std::span<const VertexId> left,
+                        std::span<const VertexId> right) {
+  batch_.Append(left, right);
+  if (batch_.size() >= max_results_ || batch_.bytes() >= max_bytes_) Flush();
+}
+
+void BufferedSink::Flush() {
+  if (batch_.empty()) return;
+  inner_->EmitBatch(batch_);
+  batch_.clear();
+  ++flushes_;
 }
 
 }  // namespace mbe

@@ -16,9 +16,63 @@
 /// Result sinks: where enumerated maximal bicliques go. Enumerators call
 /// `Emit(left, right)` with sorted spans valid only for the duration of the
 /// call; sinks copy what they need. All sinks here are thread-safe so the
-/// same sink can be shared by the parallel driver's workers.
+/// same sink can be shared by the parallel driver's workers — except
+/// `BufferedSink`, which is explicitly worker-local (see its comment).
+///
+/// Batching: `ResultSink::EmitBatch` delivers many bicliques in one call so
+/// a sink can amortize its synchronization (one lock acquisition / one
+/// atomic round per batch instead of per biclique). The parallel driver
+/// wraps the shared sink in one `BufferedSink` per worker, which
+/// accumulates emissions in worker-local storage and flushes them as a
+/// batch; sinks that don't override EmitBatch transparently fall back to
+/// per-biclique Emit.
 
 namespace mbe {
+
+/// A flat, append-only batch of bicliques: all vertex ids live in one
+/// arena, entries are (offset, lengths) records. Copy-free to walk,
+/// cache-friendly to fill.
+class BicliqueBatch {
+ public:
+  void Append(std::span<const VertexId> left, std::span<const VertexId> right) {
+    Entry e;
+    e.off = static_cast<uint32_t>(ids_.size());
+    e.l_len = static_cast<uint32_t>(left.size());
+    e.r_len = static_cast<uint32_t>(right.size());
+    ids_.insert(ids_.end(), left.begin(), left.end());
+    ids_.insert(ids_.end(), right.begin(), right.end());
+    entries_.push_back(e);
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  /// Arena bytes held (the flush-by-bytes threshold input).
+  size_t bytes() const {
+    return ids_.size() * sizeof(VertexId) + entries_.size() * sizeof(Entry);
+  }
+  void clear() {
+    ids_.clear();
+    entries_.clear();
+  }
+
+  std::span<const VertexId> left(size_t i) const {
+    const Entry& e = entries_[i];
+    return {ids_.data() + e.off, e.l_len};
+  }
+  std::span<const VertexId> right(size_t i) const {
+    const Entry& e = entries_[i];
+    return {ids_.data() + e.off + e.l_len, e.r_len};
+  }
+
+ private:
+  struct Entry {
+    uint32_t off = 0;    ///< start of L in ids_; R follows at off + l_len
+    uint32_t l_len = 0;
+    uint32_t r_len = 0;
+  };
+  std::vector<VertexId> ids_;
+  std::vector<Entry> entries_;
+};
 
 /// Abstract consumer of enumerated maximal bicliques.
 class ResultSink {
@@ -29,6 +83,15 @@ class ResultSink {
   /// and only valid during the call. Must be thread-safe.
   virtual void Emit(std::span<const VertexId> left,
                     std::span<const VertexId> right) = 0;
+
+  /// Delivers a whole batch. Semantically identical to calling Emit once
+  /// per entry (the default does exactly that); overrides synchronize once
+  /// per batch. Must be thread-safe, like Emit.
+  virtual void EmitBatch(const BicliqueBatch& batch) {
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Emit(batch.left(i), batch.right(i));
+    }
+  }
 
   /// Optional cooperative cancellation: enumerators poll this between
   /// enumeration nodes and stop early when it returns true. Used by the
@@ -44,6 +107,18 @@ class CountSink : public ResultSink {
     count_.fetch_add(1, std::memory_order_relaxed);
     left_total_.fetch_add(left.size(), std::memory_order_relaxed);
     right_total_.fetch_add(right.size(), std::memory_order_relaxed);
+  }
+
+  void EmitBatch(const BicliqueBatch& batch) override {
+    // Accumulate locally, then one atomic round for the whole batch.
+    uint64_t l = 0, r = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      l += batch.left(i).size();
+      r += batch.right(i).size();
+    }
+    count_.fetch_add(batch.size(), std::memory_order_relaxed);
+    left_total_.fetch_add(l, std::memory_order_relaxed);
+    right_total_.fetch_add(r, std::memory_order_relaxed);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -64,6 +139,16 @@ class CollectSink : public ResultSink {
     std::lock_guard<std::mutex> lock(mu_);
     results_.push_back(Biclique{{left.begin(), left.end()},
                                 {right.begin(), right.end()}});
+  }
+
+  void EmitBatch(const BicliqueBatch& batch) override {
+    std::lock_guard<std::mutex> lock(mu_);  // one acquisition per batch
+    results_.reserve(results_.size() + batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto l = batch.left(i);
+      auto r = batch.right(i);
+      results_.push_back(Biclique{{l.begin(), l.end()}, {r.begin(), r.end()}});
+    }
   }
 
   /// Results in canonical (sorted) order; call after enumeration finishes.
@@ -90,6 +175,13 @@ class CallbackSink : public ResultSink {
     cb_(left, right);
   }
 
+  void EmitBatch(const BicliqueBatch& batch) override {
+    std::lock_guard<std::mutex> lock(mu_);  // one acquisition per batch
+    for (size_t i = 0; i < batch.size(); ++i) {
+      cb_(batch.left(i), batch.right(i));
+    }
+  }
+
  private:
   std::mutex mu_;
   Callback cb_;
@@ -109,6 +201,20 @@ class FingerprintSink : public ResultSink {
     count_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  void EmitBatch(const BicliqueBatch& batch) override {
+    // Hash locally, then one atomic round (hashing dominates; the
+    // accumulators are commutative so batching preserves the digest).
+    uint64_t s = 0, x = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const uint64_t h = HashBiclique(batch.left(i), batch.right(i));
+      s += h;
+      x ^= h;
+    }
+    sum_.fetch_add(s, std::memory_order_relaxed);
+    xor_.fetch_xor(x, std::memory_order_relaxed);
+    count_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+
   /// Combined digest (sum, xor, count folded together).
   uint64_t Digest() const;
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -121,12 +227,22 @@ class FingerprintSink : public ResultSink {
 
 /// Decorates another sink with a stop condition: stop after `max_results`
 /// bicliques or after `deadline_seconds` of wall time (0 disables either).
+///
+/// The deadline path samples the clock only once every `kClockStride`
+/// ShouldStop calls (enumerators poll once per enumeration node, so a
+/// per-call clock read is measurable overhead); the deadline is therefore
+/// enforced at the same stride granularity as RunPoller.
 class BudgetSink : public ResultSink {
  public:
+  /// Clock reads happen every this many ShouldStop calls on the deadline
+  /// path (matches RunPoller::kStride).
+  static constexpr uint32_t kClockStride = 64;
+
   BudgetSink(ResultSink* inner, uint64_t max_results, double deadline_seconds);
 
   void Emit(std::span<const VertexId> left,
             std::span<const VertexId> right) override;
+  void EmitBatch(const BicliqueBatch& batch) override;
   bool ShouldStop() const override;
 
   uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
@@ -137,6 +253,54 @@ class BudgetSink : public ResultSink {
   double deadline_seconds_;
   std::atomic<uint64_t> emitted_{0};
   std::chrono::steady_clock::time_point start_;
+  /// Deadline-path stride state. `expired_` latches the first trip so the
+  /// stop stays sticky without further clock reads.
+  mutable std::atomic<uint32_t> polls_{0};
+  mutable std::atomic<bool> expired_{false};
+};
+
+/// Buffers emissions in worker-local storage and flushes them to the
+/// (thread-safe, shared) inner sink as one EmitBatch — one synchronization
+/// round per `max_results` bicliques / `max_bytes` arena bytes instead of
+/// per emission.
+///
+/// NOT thread-safe by design: each producing worker owns one BufferedSink
+/// over the shared inner sink (the parallel driver creates one per
+/// worker). The owner must call Flush() (or destroy the sink) before the
+/// run's results are read; the driver flushes on drain, including when a
+/// run is cancelled — buffered bicliques are genuine maximal bicliques, so
+/// flushing them preserves the valid-prefix guarantee of interrupted runs.
+class BufferedSink : public ResultSink {
+ public:
+  explicit BufferedSink(ResultSink* inner, size_t max_results = 64,
+                        size_t max_bytes = 1 << 16);
+  /// Flushes any remaining buffered emissions.
+  ~BufferedSink() override;
+
+  BufferedSink(const BufferedSink&) = delete;
+  BufferedSink& operator=(const BufferedSink&) = delete;
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override;
+
+  /// Forwards the shared stop signal unbuffered (cancellation must not
+  /// wait for a flush threshold).
+  bool ShouldStop() const override { return inner_->ShouldStop(); }
+
+  /// Delivers all buffered emissions to the inner sink now.
+  void Flush();
+
+  /// Completed flush rounds (empty flushes don't count).
+  uint64_t flushes() const { return flushes_; }
+  /// Bicliques currently buffered (test/introspection hook).
+  size_t buffered() const { return batch_.size(); }
+
+ private:
+  ResultSink* inner_;
+  size_t max_results_;
+  size_t max_bytes_;
+  BicliqueBatch batch_;
+  uint64_t flushes_ = 0;
 };
 
 }  // namespace mbe

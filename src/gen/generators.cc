@@ -195,4 +195,37 @@ BipartiteGraph BlockCommunity(size_t num_left, size_t num_right,
   return BipartiteGraph::FromEdges(num_left, num_right, std::move(edges));
 }
 
+BipartiteGraph HubBlock(size_t block_left, size_t block_right,
+                        size_t tail_left, size_t tail_right, double p_in,
+                        double p_tail, uint64_t seed) {
+  util::Rng rng(seed);
+  const size_t num_left = block_left + tail_left;
+  const size_t num_right = 1 + block_right + tail_right;
+  std::vector<Edge> edges;
+  // Hub: right id 0 covers the whole block's left side, so all bicliques
+  // containing it share the minimum right vertex 0.
+  for (size_t u = 0; u < block_left; ++u) {
+    edges.push_back({static_cast<VertexId>(u), 0});
+  }
+  // Dense block on right ids [1, 1 + block_right).
+  for (size_t u = 0; u < block_left; ++u) {
+    for (size_t v = 0; v < block_right; ++v) {
+      if (rng.Chance(p_in)) {
+        edges.push_back({static_cast<VertexId>(u),
+                         static_cast<VertexId>(1 + v)});
+      }
+    }
+  }
+  // Sparse tail on disjoint ranges: many light subtrees.
+  for (size_t u = 0; u < tail_left; ++u) {
+    for (size_t v = 0; v < tail_right; ++v) {
+      if (rng.Chance(p_tail)) {
+        edges.push_back({static_cast<VertexId>(block_left + u),
+                         static_cast<VertexId>(1 + block_right + v)});
+      }
+    }
+  }
+  return BipartiteGraph::FromEdges(num_left, num_right, std::move(edges));
+}
+
 }  // namespace mbe::gen

@@ -1,23 +1,207 @@
 #include "parallel/parallel_mbe.h"
 
-#include <mutex>
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <thread>
 #include <vector>
 
 #include "util/common.h"
+#include "util/random.h"
 
 namespace mbe {
 
-EnumStats ParallelEnumerate(const BipartiteGraph& graph,
-                            const WorkerFactory& factory,
-                            const ParallelOptions& options, ResultSink* sink) {
-  PMBE_CHECK(sink != nullptr);
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-worker state of the stealing scheduler. The deque is shared (thieves
+/// touch it); everything else is owner-private until the final join.
+struct StealWorkerState {
+  TaskDeque deque;
+  uint64_t steals = 0;
+  uint64_t split_tasks = 0;
+  uint64_t busy_ns = 0;
+  uint64_t idle_ns = 0;
+};
+
+/// The kStealing scheduler: per-worker Chase–Lev deques seeded with the
+/// subtree tasks heaviest-last (so each owner starts on its heaviest seed
+/// while thieves drain light tails), randomized victim selection with
+/// yield/sleep backoff, and split-at-pickup for heavy subtrees.
+EnumStats RunWorkStealing(const BipartiteGraph& graph,
+                          const WorkerFactory& factory,
+                          const ParallelOptions& options, ResultSink* sink) {
+  const uint64_t n = graph.num_right();
+  const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
+      std::max(1u, options.threads), std::max<uint64_t>(1, n)));
+  const uint32_t max_split =
+      std::min<uint32_t>(std::max<uint32_t>(1, options.max_split),
+                         kMaxTaskShards);
+  RunController* controller = options.controller;
+
+  // Seed order: right-degree ascending. Each worker's seeds are pushed
+  // lightest-first, so the owner (LIFO at the bottom) starts on its
+  // heaviest subtree while thieves (FIFO at the top) take the light tail.
+  // Degree is the cheap seeding proxy; the accurate EstimateSubtreeWork
+  // needs the built root and is what SplitHint uses at pickup.
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return graph.RightDegree(a) < graph.RightDegree(b);
+  });
+
+  std::vector<StealWorkerState> states(workers);
+  for (uint64_t rank = 0; rank < n; ++rank) {
+    states[rank % workers].deque.Push(
+        EncodeTask({.v = order[rank], .shard = 0, .num_shards = 1}));
+  }
+
+  // Outstanding tasks across all deques and in-flight executions. A split
+  // turns one task into k, so the splitter adds k-1. Workers drain until
+  // this reaches zero (or the controller trips).
+  std::atomic<uint64_t> remaining{n};
+  // Workers currently hunting for work. Any starving thief lowers the
+  // split bar for everyone, so busy workers break up mid-sized subtrees
+  // they would otherwise run whole.
+  std::atomic<unsigned> idle_workers{0};
+
+  std::vector<std::unique_ptr<SubtreeWorker>> engines(workers);
+  std::vector<std::unique_ptr<BufferedSink>> buffers(workers);
+
+  auto worker_main = [&](unsigned w) {
+    engines[w] = factory();
+    buffers[w] = std::make_unique<BufferedSink>(
+        sink, options.sink_buffer_results, options.sink_buffer_bytes);
+    SubtreeWorker* engine = engines[w].get();
+    BufferedSink* buffered = buffers[w].get();
+    StealWorkerState& st = states[w];
+    util::Rng rng(0x5eedULL * (w + 1) + 0x9e3779b97f4a7c15ULL);
+
+    auto stopped = [&]() {
+      return controller != nullptr && controller->stop_requested();
+    };
+
+    auto run_task = [&](uint64_t word) {
+      StealTask task = DecodeTask(word);
+      if (!stopped()) {
+        if (task.num_shards == 1 && max_split > 1) {
+          // Split at pickup: unconditionally above the configured work
+          // bar, and at a quarter of it while any thief is starving.
+          const uint64_t bar =
+              idle_workers.load(std::memory_order_relaxed) > 0
+                  ? std::max<uint64_t>(1, options.split_min_work / 4)
+                  : options.split_min_work;
+          const uint32_t k = engine->SplitHint(task.v, max_split, bar);
+          if (k > 1) {
+            PMBE_DCHECK(k <= max_split);
+            for (uint32_t s = k; s-- > 1;) {
+              // Push high shards first so the owner resumes on shard 1
+              // and thieves take the later shards.
+              st.deque.Push(
+                  EncodeTask({.v = task.v, .shard = s, .num_shards = k}));
+            }
+            remaining.fetch_add(k - 1, std::memory_order_relaxed);
+            ++st.split_tasks;
+            task.num_shards = k;
+          }
+        }
+        const uint64_t t0 = NowNs();
+        engine->EnumerateShard(task.v, task.shard, task.num_shards, buffered);
+        st.busy_ns += NowNs() - t0;
+      }
+      // Count down even when the stop flag skipped the enumeration: the
+      // drain invariant is "every seeded or split task is retired once".
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    };
+
+    while (true) {
+      uint64_t word;
+      if (st.deque.Pop(&word)) {
+        run_task(word);
+        continue;
+      }
+      if (stopped() || remaining.load(std::memory_order_acquire) == 0) break;
+
+      // Own deque empty: hunt for work. Thieves sweep random victims,
+      // backing off from yield to a short sleep as sweeps keep failing.
+      const uint64_t idle_start = NowNs();
+      idle_workers.fetch_add(1, std::memory_order_relaxed);
+      bool got = false;
+      unsigned failed_sweeps = 0;
+      while (!stopped() &&
+             remaining.load(std::memory_order_acquire) > 0) {
+        bool stole = false;
+        for (unsigned attempt = 0; attempt < workers && !stole; ++attempt) {
+          const unsigned victim =
+              static_cast<unsigned>(rng.Below(workers));
+          if (victim == w) continue;
+          stole = states[victim].deque.Steal(&word);
+        }
+        if (stole) {
+          got = true;
+          break;
+        }
+        ++failed_sweeps;
+        if (failed_sweeps < 16) {
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+        }
+      }
+      idle_workers.fetch_sub(1, std::memory_order_relaxed);
+      st.idle_ns += NowNs() - idle_start;
+      if (!got) break;
+      ++st.steals;
+      run_task(word);
+    }
+
+    // Flush the worker's buffer before the join: buffered bicliques are
+    // genuine maximal bicliques and are delivered even on cancellation
+    // (the valid-prefix contract of run control).
+    buffered->Flush();
+  };
+
+  if (workers == 1) {
+    worker_main(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker_main, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  EnumStats merged;
+  for (unsigned w = 0; w < workers; ++w) {
+    if (engines[w]) merged.MergeFrom(engines[w]->stats());
+    if (buffers[w]) merged.sink_flushes += buffers[w]->flushes();
+    merged.steals += states[w].steals;
+    merged.split_tasks += states[w].split_tasks;
+    merged.busy_ns += states[w].busy_ns;
+    merged.idle_ns += states[w].idle_ns;
+  }
+  return merged;
+}
+
+/// The flat per-vertex loop (kDynamic / kStatic) via ThreadPool.
+EnumStats RunThreadPool(const BipartiteGraph& graph,
+                        const WorkerFactory& factory,
+                        const ParallelOptions& options, ResultSink* sink) {
   ThreadPool pool(options.threads);
   const unsigned workers = pool.threads();
 
-  // One worker engine per thread, created lazily on first use so that the
-  // serial path pays for exactly one.
+  // One engine and one sink buffer per worker slot. Ownership invariant:
+  // engines[w] / buffers[w] are written and used only by the single pool
+  // thread running with worker_id == w (ThreadPool passes each thread a
+  // distinct id), and read here only after ParallelFor's join — which
+  // orders those accesses, so no lock is needed.
   std::vector<std::unique_ptr<SubtreeWorker>> engines(workers);
-  std::mutex engines_mu;
+  std::vector<std::unique_ptr<BufferedSink>> buffers(workers);
 
   pool.ParallelFor(
       graph.num_right(), options.scheduling,
@@ -30,21 +214,37 @@ EnumStats ParallelEnumerate(const BipartiteGraph& graph,
         }
         SubtreeWorker* engine = engines[worker_id].get();
         if (engine == nullptr) {
-          auto fresh = factory();
-          {
-            std::lock_guard<std::mutex> lock(engines_mu);
-            engines[worker_id] = std::move(fresh);
-          }
+          engines[worker_id] = factory();
+          buffers[worker_id] = std::make_unique<BufferedSink>(
+              sink, options.sink_buffer_results, options.sink_buffer_bytes);
           engine = engines[worker_id].get();
         }
-        engine->EnumerateSubtree(static_cast<VertexId>(v), sink);
+        engine->EnumerateSubtree(static_cast<VertexId>(v),
+                                 buffers[worker_id].get());
       });
 
   EnumStats merged;
-  for (const auto& engine : engines) {
-    if (engine) merged.MergeFrom(engine->stats());
+  for (unsigned w = 0; w < workers; ++w) {
+    if (buffers[w]) {
+      buffers[w]->Flush();
+      merged.sink_flushes += buffers[w]->flushes();
+    }
+    if (engines[w]) merged.MergeFrom(engines[w]->stats());
   }
   return merged;
+}
+
+}  // namespace
+
+EnumStats ParallelEnumerate(const BipartiteGraph& graph,
+                            const WorkerFactory& factory,
+                            const ParallelOptions& options, ResultSink* sink) {
+  PMBE_CHECK(sink != nullptr);
+  if (graph.num_right() == 0) return EnumStats{};
+  if (options.scheduling == Scheduling::kStealing) {
+    return RunWorkStealing(graph, factory, options, sink);
+  }
+  return RunThreadPool(graph, factory, options, sink);
 }
 
 }  // namespace mbe

@@ -6,6 +6,34 @@
 
 namespace mbe {
 
+const char* SchedulingName(Scheduling scheduling) {
+  switch (scheduling) {
+    case Scheduling::kDynamic:
+      return "dynamic";
+    case Scheduling::kStatic:
+      return "static";
+    case Scheduling::kStealing:
+      return "stealing";
+  }
+  return "?";
+}
+
+util::Status ParseScheduling(const std::string& name, Scheduling* scheduling) {
+  PMBE_CHECK(scheduling != nullptr);
+  if (name == "dynamic") {
+    *scheduling = Scheduling::kDynamic;
+  } else if (name == "static") {
+    *scheduling = Scheduling::kStatic;
+  } else if (name == "stealing") {
+    *scheduling = Scheduling::kStealing;
+  } else {
+    return util::Status::InvalidArgument(
+        "unknown scheduling '" + name +
+        "' (expected dynamic | static | stealing)");
+  }
+  return util::Status::Ok();
+}
+
 ThreadPool::ThreadPool(unsigned threads) : threads_(std::max(1u, threads)) {}
 
 void ThreadPool::ParallelFor(
@@ -24,7 +52,8 @@ void ThreadPool::ParallelFor(
   // Must outlive the worker threads, which are joined at the end of the
   // function — not at the end of the dynamic-scheduling branch.
   std::atomic<uint64_t> next{0};
-  if (scheduling == Scheduling::kDynamic) {
+  if (scheduling != Scheduling::kStatic) {
+    // kDynamic, and kStealing degraded to it (see header).
     for (unsigned w = 0; w < workers; ++w) {
       pool.emplace_back([&, w]() {
         while (true) {

@@ -4,27 +4,43 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "util/status.h"
+
 /// \file
-/// A small fixed-size thread pool exposing the two scheduling disciplines
-/// the parallel experiments compare:
+/// A small fixed-size thread pool exposing the scheduling disciplines the
+/// parallel experiments compare:
 ///
 ///  * **dynamic** — workers repeatedly claim the next index from a shared
 ///    atomic counter (fine-grained self-balancing; the CPU analogue of the
 ///    shared `processing_v` counter used by GPU MBE work);
 ///  * **static** — the index range is pre-split into contiguous blocks,
 ///    one per worker, demonstrating the load-imbalance failure mode on
-///    skewed enumeration trees.
+///    skewed enumeration trees;
+///  * **stealing** — per-worker Chase–Lev deques with randomized victim
+///    selection and heavy-subtree splitting (parallel/work_stealing.h).
+///    This is a *task-level* discipline implemented by the parallel MBE
+///    driver; for plain index loops ParallelFor degrades it to dynamic
+///    (an index loop has no subtree structure to steal or split).
 
 namespace mbe {
 
-/// How ParallelFor distributes indices over workers.
+/// How the parallel driver distributes work over workers.
 enum class Scheduling {
-  kDynamic,  ///< shared-counter work claiming (self-balancing)
-  kStatic,   ///< contiguous pre-partitioned blocks
+  kDynamic,   ///< shared-counter work claiming (self-balancing)
+  kStatic,    ///< contiguous pre-partitioned blocks
+  kStealing,  ///< per-worker deques + stealing + subtree splitting
 };
+
+/// Stable display name ("dynamic", "static", "stealing").
+const char* SchedulingName(Scheduling scheduling);
+
+/// Parses "dynamic" | "static" | "stealing" into `*scheduling`; returns
+/// InvalidArgument (leaving `*scheduling` untouched) on unknown names.
+util::Status ParseScheduling(const std::string& name, Scheduling* scheduling);
 
 /// Fixed-size pool of workers for index-space parallel loops.
 class ThreadPool {
@@ -39,6 +55,7 @@ class ThreadPool {
   /// Runs `body(index, worker_id)` for every index in [0, n) using the
   /// given scheduling discipline. Blocks until all indices are processed.
   /// The body must be thread-safe across distinct worker_ids.
+  /// kStealing is treated as kDynamic here (see file comment).
   void ParallelFor(uint64_t n, Scheduling scheduling,
                    const std::function<void(uint64_t, unsigned)>& body);
 

@@ -1,0 +1,92 @@
+#include "parallel/work_stealing.h"
+
+#include <algorithm>
+
+namespace mbe {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t cap = 8;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+TaskDeque::TaskDeque(size_t capacity_hint) {
+  rings_.push_back(std::make_unique<Ring>(RoundUpPow2(capacity_hint)));
+  ring_.store(rings_.back().get(), std::memory_order_relaxed);
+}
+
+void TaskDeque::Grow(Ring* ring, int64_t bottom, int64_t top) {
+  auto grown = std::make_unique<Ring>(ring->capacity() * 2);
+  for (int64_t i = top; i < bottom; ++i) grown->Store(i, ring->Load(i));
+  ring_.store(grown.get(), std::memory_order_release);
+  // Retire, don't free: a thief holding the old pointer may still load a
+  // (stale) slot before its top CAS fails.
+  rings_.push_back(std::move(grown));
+}
+
+void TaskDeque::Push(uint64_t task) {
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_acquire);
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  if (b - t >= static_cast<int64_t>(ring->capacity())) {
+    Grow(ring, b, t);
+    ring = ring_.load(std::memory_order_relaxed);
+  }
+  ring->Store(b, task);
+  // Publish the slot before the new bottom becomes visible to thieves.
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+bool TaskDeque::Pop(uint64_t* task) {
+  const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Ring* ring = ring_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  // The bottom reservation must be visible before top is read, or the
+  // owner and a thief could both take the last task.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  int64_t t = top_.load(std::memory_order_relaxed);
+  if (t > b) {
+    // Empty: undo the reservation.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+  *task = ring->Load(b);
+  if (t == b) {
+    // Last task: race thieves for it via the top CAS.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won;
+  }
+  return true;
+}
+
+bool TaskDeque::Steal(uint64_t* task) {
+  int64_t t = top_.load(std::memory_order_acquire);
+  // Order the top read before the bottom read (mirrors the owner's fence
+  // in Pop), so a concurrent pop of the last task is not double-taken.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return false;
+  Ring* ring = ring_.load(std::memory_order_acquire);
+  const uint64_t word = ring->Load(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return false;  // lost to the owner or another thief; caller retries
+  }
+  *task = word;
+  return true;
+}
+
+size_t TaskDeque::SizeEstimate() const {
+  const int64_t b = bottom_.load(std::memory_order_relaxed);
+  const int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<size_t>(b - t) : 0;
+}
+
+}  // namespace mbe

@@ -228,12 +228,14 @@ TEST(ParallelTest, ThreadsAndSchedulingDoNotChangeResults) {
 
   for (Algorithm algorithm : {Algorithm::kMbet, Algorithm::kImbea}) {
     for (unsigned threads : {2u, 4u, 8u}) {
-      for (Scheduling scheduling : {Scheduling::kDynamic, Scheduling::kStatic}) {
+      for (Scheduling scheduling : {Scheduling::kDynamic, Scheduling::kStatic,
+                                    Scheduling::kStealing}) {
         Options options = OptionsFor(algorithm);
         options.threads = threads;
         options.scheduling = scheduling;
         EXPECT_EQ(DiffResultSets(reference, RunEnum(graph, options)), "")
-            << AlgorithmName(algorithm) << " threads=" << threads;
+            << AlgorithmName(algorithm) << " threads=" << threads << " "
+            << SchedulingName(scheduling);
       }
     }
   }

@@ -37,7 +37,10 @@ INSTANTIATE_TEST_SUITE_P(
     Configs, ThreadPoolTest,
     ::testing::Combine(::testing::Values(1u, 2u, 4u, 7u),
                        ::testing::Values(Scheduling::kDynamic,
-                                         Scheduling::kStatic)));
+                                         Scheduling::kStatic,
+                                         // Degrades to kDynamic for index
+                                         // loops (see thread_pool.h).
+                                         Scheduling::kStealing)));
 
 TEST(ThreadPoolBasicTest, ZeroIterationsIsNoop) {
   ThreadPool pool(4);
@@ -133,6 +136,115 @@ TEST(ParallelEnumerateTest, EmptyGraph) {
       options, &sink);
   EXPECT_EQ(sink.count(), 0u);
   EXPECT_EQ(stats.maximal, 0u);
+}
+
+// Split-capable worker: forwards the full SubtreeWorker surface to an
+// MbetEnumerator (mirrors the api-layer adapter).
+class SplittingWorker : public SubtreeWorker {
+ public:
+  explicit SplittingWorker(const BipartiteGraph& graph)
+      : engine_(graph, MbetOptions{}) {}
+  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
+    engine_.EnumerateSubtree(v, sink);
+  }
+  uint32_t SplitHint(VertexId v, uint32_t max_shards,
+                     uint64_t min_work) override {
+    return engine_.SplitHint(v, max_shards, min_work);
+  }
+  void EnumerateShard(VertexId v, uint32_t shard, uint32_t num_shards,
+                      ResultSink* sink) override {
+    engine_.EnumerateShard(v, shard, num_shards, sink);
+  }
+  EnumStats stats() const override { return engine_.stats(); }
+
+ private:
+  MbetEnumerator engine_;
+};
+
+TEST(WorkStealingDriverTest, SplitsHeavySubtreeAndMatchesSerial) {
+  // Hub graph: subtree(0) holds nearly all work, plus a light tail.
+  BipartiteGraph graph = gen::HubBlock(/*block_left=*/60, /*block_right=*/40,
+                                       /*tail_left=*/60, /*tail_right=*/120,
+                                       /*p_in=*/0.4, /*p_tail=*/0.02, 7);
+  CountSink serial_sink;
+  MbetEnumerator serial(graph, MbetOptions{});
+  serial.EnumerateAll(&serial_sink);
+  ASSERT_GT(serial_sink.count(), 100u);
+
+  ParallelOptions options;
+  options.threads = 8;
+  options.scheduling = Scheduling::kStealing;
+  options.split_min_work = 64;  // low bar so the hub subtree surely splits
+  CountSink sink;
+  EnumStats merged = ParallelEnumerate(
+      graph,
+      [&graph]() { return std::make_unique<SplittingWorker>(graph); },
+      options, &sink);
+
+  EXPECT_EQ(sink.count(), serial_sink.count());
+  EXPECT_EQ(merged.maximal, serial.stats().maximal);
+  EXPECT_GT(merged.split_tasks, 0u) << "hub subtree was never split";
+  EXPECT_GT(merged.sink_flushes, 0u);
+  EXPECT_GT(merged.busy_ns, 0u);
+}
+
+TEST(WorkStealingDriverTest, SplitDisabledStillMatchesSerial) {
+  BipartiteGraph graph = gen::HubBlock(40, 30, 40, 60, 0.4, 0.03, 8);
+  CountSink serial_sink;
+  MbetEnumerator serial(graph, MbetOptions{});
+  serial.EnumerateAll(&serial_sink);
+
+  ParallelOptions options;
+  options.threads = 4;
+  options.scheduling = Scheduling::kStealing;
+  options.max_split = 1;  // stealing without splitting
+  CountSink sink;
+  EnumStats merged = ParallelEnumerate(
+      graph,
+      [&graph]() { return std::make_unique<SplittingWorker>(graph); },
+      options, &sink);
+  EXPECT_EQ(sink.count(), serial_sink.count());
+  EXPECT_EQ(merged.split_tasks, 0u);
+}
+
+TEST(WorkStealingDriverTest, DefaultWorkerWithoutSplitSupport) {
+  // CountingWorker inherits the SplitHint=1 default: the scheduler must
+  // run every subtree whole and still match the serial result.
+  BipartiteGraph graph = gen::PowerLaw(150, 100, 900, 0.85, 0.8, 46);
+  CountSink serial_sink;
+  MbetEnumerator serial(graph, MbetOptions{});
+  serial.EnumerateAll(&serial_sink);
+
+  ParallelOptions options;
+  options.threads = 8;
+  options.scheduling = Scheduling::kStealing;
+  options.split_min_work = 1;  // an eager bar, but the worker can't split
+  CountSink sink;
+  EnumStats merged = ParallelEnumerate(
+      graph, [&graph]() { return std::make_unique<CountingWorker>(graph); },
+      options, &sink);
+  EXPECT_EQ(sink.count(), serial_sink.count());
+  EXPECT_EQ(merged.split_tasks, 0u);
+  EXPECT_EQ(merged.nodes_expanded, serial.stats().nodes_expanded);
+}
+
+TEST(WorkStealingDriverTest, SingleThreadStealingMatchesSerial) {
+  BipartiteGraph graph = gen::HubBlock(30, 25, 20, 40, 0.4, 0.05, 9);
+  CountSink serial_sink;
+  MbetEnumerator serial(graph, MbetOptions{});
+  serial.EnumerateAll(&serial_sink);
+
+  ParallelOptions options;
+  options.threads = 1;
+  options.scheduling = Scheduling::kStealing;
+  options.split_min_work = 32;
+  CountSink sink;
+  EnumStats merged = ParallelEnumerate(
+      graph,
+      [&graph]() { return std::make_unique<SplittingWorker>(graph); },
+      options, &sink);
+  EXPECT_EQ(sink.count(), serial_sink.count());
+  EXPECT_EQ(merged.steals, 0u) << "one worker has nobody to steal from";
 }
 
 TEST(ParallelEnumerateTest, StopRequestHaltsWorkers) {

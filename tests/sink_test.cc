@@ -106,6 +106,14 @@ TEST(BudgetSinkTest, StopsAtDeadline) {
   BudgetSink budget(&inner, 0, /*deadline_seconds=*/0.02);
   EXPECT_FALSE(budget.ShouldStop());
   std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // The deadline path samples the clock once per kClockStride polls, so
+  // the stop is guaranteed within one stride of polls — and once tripped
+  // it stays tripped without further clock reads.
+  bool stopped = false;
+  for (uint32_t i = 0; i < BudgetSink::kClockStride && !stopped; ++i) {
+    stopped = budget.ShouldStop();
+  }
+  EXPECT_TRUE(stopped);
   EXPECT_TRUE(budget.ShouldStop());
 }
 
@@ -140,6 +148,131 @@ TEST(HashBicliqueTest, SideSplitMatters) {
 TEST(ToStringTest, RendersBothSides) {
   Biclique b{{1, 2}, {7}};
   EXPECT_EQ(ToString(b), "{1,2} x {7}");
+}
+
+// --- BicliqueBatch / EmitBatch --------------------------------------------
+
+TEST(BicliqueBatchTest, AppendsAndReadsBack) {
+  BicliqueBatch batch;
+  EXPECT_TRUE(batch.empty());
+  std::vector<VertexId> l1 = {1, 2}, r1 = {3};
+  std::vector<VertexId> l2 = {4}, r2 = {5, 6, 7};
+  batch.Append(l1, r1);
+  batch.Append(l2, r2);
+  ASSERT_EQ(batch.size(), 2u);
+  // bytes() accounts both the id arena and the per-entry records.
+  EXPECT_GE(batch.bytes(), 7 * sizeof(VertexId));
+  EXPECT_EQ(std::vector<VertexId>(batch.left(0).begin(), batch.left(0).end()),
+            l1);
+  EXPECT_EQ(std::vector<VertexId>(batch.right(1).begin(), batch.right(1).end()),
+            r2);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_EQ(batch.bytes(), 0u);
+}
+
+TEST(EmitBatchTest, DefaultForwardsPerItem) {
+  // A sink overriding only Emit must still receive every batched biclique.
+  class RecordingSink : public ResultSink {
+   public:
+    void Emit(std::span<const VertexId> left,
+              std::span<const VertexId>) override {
+      lefts.push_back(std::vector<VertexId>(left.begin(), left.end()));
+    }
+    std::vector<std::vector<VertexId>> lefts;
+  };
+  RecordingSink sink;
+  BicliqueBatch batch;
+  std::vector<VertexId> r = {9};
+  for (VertexId i = 0; i < 5; ++i) {
+    std::vector<VertexId> l = {i};
+    batch.Append(l, r);
+  }
+  sink.EmitBatch(batch);
+  ASSERT_EQ(sink.lefts.size(), 5u);
+  EXPECT_EQ(sink.lefts[3], std::vector<VertexId>{3});
+}
+
+TEST(EmitBatchTest, FingerprintMatchesPerItemEmission) {
+  BicliqueBatch batch;
+  FingerprintSink batched, unbatched;
+  for (VertexId i = 0; i < 10; ++i) {
+    std::vector<VertexId> l = {i, static_cast<VertexId>(i + 1)};
+    std::vector<VertexId> r = {static_cast<VertexId>(100 + i)};
+    batch.Append(l, r);
+    unbatched.Emit(l, r);
+  }
+  batched.EmitBatch(batch);
+  EXPECT_EQ(batched.Digest(), unbatched.Digest());
+  EXPECT_EQ(batched.count(), 10u);
+}
+
+// --- BufferedSink ----------------------------------------------------------
+
+TEST(BufferedSinkTest, FlushesAtResultThreshold) {
+  CountSink inner;
+  BufferedSink buffered(&inner, /*max_results=*/4, /*max_bytes=*/1 << 20);
+  for (int i = 0; i < 3; ++i) EmitPair(buffered, {1}, {2});
+  EXPECT_EQ(inner.count(), 0u) << "flushed before the threshold";
+  EXPECT_EQ(buffered.buffered(), 3u);
+  EmitPair(buffered, {1}, {2});
+  EXPECT_EQ(inner.count(), 4u);
+  EXPECT_EQ(buffered.buffered(), 0u);
+  EXPECT_EQ(buffered.flushes(), 1u);
+}
+
+TEST(BufferedSinkTest, FlushesAtByteThreshold) {
+  // Measure the bytes of one buffered biclique, then set the threshold so
+  // the second emission trips it (bytes() includes entry records, so the
+  // test derives the number instead of hardcoding it).
+  BicliqueBatch probe;
+  std::vector<VertexId> l = {1, 2, 3}, r = {4, 5};
+  probe.Append(l, r);
+  const size_t one = probe.bytes();
+
+  CountSink inner;
+  BufferedSink buffered(&inner, /*max_results=*/1000, /*max_bytes=*/one + 1);
+  EmitPair(buffered, {1, 2, 3}, {4, 5});
+  EXPECT_EQ(inner.count(), 0u);
+  EmitPair(buffered, {1, 2, 3}, {4, 5});  // 2 * one >= one + 1 -> flush
+  EXPECT_EQ(inner.count(), 2u);
+  EXPECT_EQ(buffered.flushes(), 1u);
+}
+
+TEST(BufferedSinkTest, DestructorFlushesRemainder) {
+  CountSink inner;
+  {
+    BufferedSink buffered(&inner, 100, 1 << 20);
+    EmitPair(buffered, {1}, {2});
+    EmitPair(buffered, {3}, {4});
+    EXPECT_EQ(inner.count(), 0u);
+  }
+  EXPECT_EQ(inner.count(), 2u);
+}
+
+TEST(BufferedSinkTest, ShouldStopForwardsUnbuffered) {
+  class StopSink : public ResultSink {
+   public:
+    void Emit(std::span<const VertexId>, std::span<const VertexId>) override {}
+    bool ShouldStop() const override { return stop; }
+    bool stop = false;
+  };
+  StopSink inner;
+  BufferedSink buffered(&inner, 100, 1 << 20);
+  EXPECT_FALSE(buffered.ShouldStop());
+  inner.stop = true;
+  EXPECT_TRUE(buffered.ShouldStop()) << "stop must not wait for a flush";
+}
+
+TEST(BudgetSinkTest, CountsBatchedEmissions) {
+  CountSink inner;
+  BudgetSink budget(&inner, /*max_results=*/5, 0);
+  BicliqueBatch batch;
+  std::vector<VertexId> l = {1}, r = {2};
+  for (int i = 0; i < 6; ++i) batch.Append(l, r);
+  budget.EmitBatch(batch);
+  EXPECT_EQ(inner.count(), 6u);
+  EXPECT_TRUE(budget.ShouldStop());
 }
 
 }  // namespace

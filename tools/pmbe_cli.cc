@@ -51,6 +51,10 @@ int main(int argc, char** argv) {
   flags.AddString("order", "deg-asc",
                   "none | deg-asc | deg-desc | twohop | unilateral | random");
   flags.AddInt("threads", 1, "worker threads (mbet/mbetm/imbea/oombea)");
+  flags.AddString("scheduling", "stealing",
+                  "parallel scheduling: dynamic | static | stealing");
+  flags.AddInt("max_split", 8,
+               "max shards per heavy subtree under stealing (1 = off)");
   flags.AddDouble("timeout_s", 0,
                   "wall-clock deadline in seconds (0 = none)");
   flags.AddInt("max_results", 0, "stop after this many bicliques (0 = none)");
@@ -100,6 +104,13 @@ int main(int argc, char** argv) {
   }
   options.order = ParseVertexOrder(flags.GetString("order"));
   options.threads = static_cast<unsigned>(flags.GetInt("threads"));
+  if (util::Status parsed =
+          ParseScheduling(flags.GetString("scheduling"), &options.scheduling);
+      !parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  options.max_split = static_cast<uint32_t>(flags.GetInt("max_split"));
   options.mbet.min_left = static_cast<uint32_t>(flags.GetInt("min-left"));
   options.mbet.min_right = static_cast<uint32_t>(flags.GetInt("min-right"));
   options.mbet.bitmap_density = flags.GetDouble("bitmap_density");
@@ -231,6 +242,21 @@ int main(int argc, char** argv) {
       std::printf("  arena peak:          %s bytes (per-thread scratch)\n",
                   util::HumanCount(static_cast<double>(s.arena_peak_bytes))
                       .c_str());
+    }
+    if (options.threads > 1) {
+      std::printf("  scheduler:           %s, %llu steals, %llu split tasks\n",
+                  SchedulingName(options.scheduling),
+                  static_cast<unsigned long long>(s.steals),
+                  static_cast<unsigned long long>(s.split_tasks));
+      std::printf("  sink flushes:        %llu (batched emission)\n",
+                  static_cast<unsigned long long>(s.sink_flushes));
+      const double busy = static_cast<double>(s.busy_ns);
+      const double total = busy + static_cast<double>(s.idle_ns);
+      if (total > 0) {
+        std::printf("  worker busy share:   %.1f%% (busy %.3fs, idle %.3fs)\n",
+                    100.0 * busy / total, busy * 1e-9,
+                    static_cast<double>(s.idle_ns) * 1e-9);
+      }
     }
   }
   return 0;
