@@ -1,7 +1,10 @@
 // M10 — micro-benchmarks (google-benchmark) for the kernels underneath the
 // enumerators: sorted-set intersection (merge vs gallop regimes), mask
 // probes, trie build, and trie classification vs direct scans at varying
-// prefix-sharing levels.
+// prefix-sharing levels. The SIMD-sensitive benches carry the kernel
+// dispatch level as their last argument (0 scalar, 1 sse4.2, 2 avx2) so
+// one run produces the per-ISA columns bench/BENCH_setops.json records;
+// levels the host cannot run are reported as skipped, not as zeros.
 
 #include <benchmark/benchmark.h>
 
@@ -12,12 +15,36 @@
 #include "core/vertex_set.h"
 #include "util/bitset.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace {
 
 using mbe::MembershipMask;
 using mbe::NeighborhoodTrie;
 using mbe::VertexId;
+
+const std::vector<int64_t> kDispatchLevels = {0, 1, 2};
+
+// Restores the ambient dispatch level when a pinned bench finishes, so
+// later benches (and the trailing trie suite) run at the default level.
+struct DispatchGuard {
+  mbe::simd::DispatchLevel prev = mbe::simd::ActiveLevel();
+  ~DispatchGuard() { mbe::simd::ForceLevel(prev); }
+};
+
+// Pins the dispatch level carried in the bench's last argument. Returns
+// false after flagging the run as skipped when the build or CPU lacks the
+// level (the JSON then shows error_occurred instead of a bogus number).
+bool PinDispatch(benchmark::State& state, int level_arg_index) {
+  const auto want =
+      static_cast<mbe::simd::DispatchLevel>(state.range(level_arg_index));
+  if (mbe::simd::ForceLevel(want) != want) {
+    state.SkipWithError("dispatch level unavailable on this host");
+    return false;
+  }
+  state.SetLabel(mbe::simd::DispatchLevelName(want));
+  return true;
+}
 
 std::vector<VertexId> RandomSortedSet(size_t n, size_t universe,
                                       mbe::util::Rng& rng) {
@@ -32,6 +59,8 @@ std::vector<VertexId> RandomSortedSet(size_t n, size_t universe,
 }
 
 void BM_IntersectBalanced(benchmark::State& state) {
+  DispatchGuard guard;
+  if (!PinDispatch(state, 1)) return;
   mbe::util::Rng rng(1);
   const size_t n = static_cast<size_t>(state.range(0));
   auto a = RandomSortedSet(n, n * 4, rng);
@@ -44,7 +73,9 @@ void BM_IntersectBalanced(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(a.size() + b.size()));
 }
-BENCHMARK(BM_IntersectBalanced)->Range(64, 1 << 14);
+BENCHMARK(BM_IntersectBalanced)
+    ->ArgsProduct({benchmark::CreateRange(64, 1 << 14, 8), kDispatchLevels})
+    ->ArgNames({"n", "isa"});
 
 void BM_IntersectLopsided(benchmark::State& state) {
   mbe::util::Rng rng(2);
@@ -75,7 +106,11 @@ std::pair<std::vector<VertexId>, std::vector<VertexId>> MakeDensityPair(
           RandomSortedSet(n, kSweepUniverse, rng)};
 }
 
+const std::vector<int64_t> kDensities = {1, 5, 10, 25, 50, 90};
+
 void BM_SetOpsMerge(benchmark::State& state) {
+  DispatchGuard guard;
+  if (!PinDispatch(state, 1)) return;
   auto [a, b] = MakeDensityPair(state);
   std::vector<VertexId> out;
   for (auto _ : state) {
@@ -85,7 +120,25 @@ void BM_SetOpsMerge(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(a.size() + b.size()));
 }
-BENCHMARK(BM_SetOpsMerge)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+BENCHMARK(BM_SetOpsMerge)
+    ->ArgsProduct({kDensities, kDispatchLevels})
+    ->ArgNames({"density", "isa"});
+
+void BM_SetOpsDifference(benchmark::State& state) {
+  DispatchGuard guard;
+  if (!PinDispatch(state, 1)) return;
+  auto [a, b] = MakeDensityPair(state);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    mbe::Difference(a, b, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(a.size() + b.size()));
+}
+BENCHMARK(BM_SetOpsDifference)
+    ->ArgsProduct({kDensities, kDispatchLevels})
+    ->ArgNames({"density", "isa"});
 
 void BM_SetOpsGallop(benchmark::State& state) {
   auto [a, b] = MakeDensityPair(state);
@@ -100,6 +153,8 @@ void BM_SetOpsGallop(benchmark::State& state) {
 BENCHMARK(BM_SetOpsGallop)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
 
 void BM_SetOpsBitmap(benchmark::State& state) {
+  DispatchGuard guard;
+  if (!PinDispatch(state, 1)) return;
   auto [a, b] = MakeDensityPair(state);
   const size_t words = mbe::util::WordsFor(kSweepUniverse);
   std::vector<uint64_t> wa(words, 0), wb(words, 0), out(words, 0);
@@ -112,11 +167,15 @@ void BM_SetOpsBitmap(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(a.size() + b.size()));
 }
-BENCHMARK(BM_SetOpsBitmap)->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+BENCHMARK(BM_SetOpsBitmap)
+    ->ArgsProduct({kDensities, kDispatchLevels})
+    ->ArgNames({"density", "isa"});
 
 // Counting variant of the word kernel — the exact operation the bitmap
 // classification path in MbetEnumerator::Classify issues per group.
 void BM_SetOpsBitmapCount(benchmark::State& state) {
+  DispatchGuard guard;
+  if (!PinDispatch(state, 1)) return;
   auto [a, b] = MakeDensityPair(state);
   const size_t words = mbe::util::WordsFor(kSweepUniverse);
   std::vector<uint64_t> wa(words, 0), wb(words, 0);
@@ -129,9 +188,12 @@ void BM_SetOpsBitmapCount(benchmark::State& state) {
                           static_cast<int64_t>(a.size() + b.size()));
 }
 BENCHMARK(BM_SetOpsBitmapCount)
-    ->Arg(1)->Arg(5)->Arg(10)->Arg(25)->Arg(50)->Arg(90);
+    ->ArgsProduct({kDensities, kDispatchLevels})
+    ->ArgNames({"density", "isa"});
 
 void BM_MaskProbe(benchmark::State& state) {
+  DispatchGuard guard;
+  if (!PinDispatch(state, 1)) return;
   mbe::util::Rng rng(3);
   const size_t n = static_cast<size_t>(state.range(0));
   auto set = RandomSortedSet(n / 2, n, rng);
@@ -143,7 +205,9 @@ void BM_MaskProbe(benchmark::State& state) {
   }
   mask.Clear(set);
 }
-BENCHMARK(BM_MaskProbe)->Range(256, 1 << 14);
+BENCHMARK(BM_MaskProbe)
+    ->ArgsProduct({benchmark::CreateRange(256, 1 << 14, 8), kDispatchLevels})
+    ->ArgNames({"n", "isa"});
 
 // Builds `groups` lists of length `len` over a universe, sharing a common
 // prefix of `shared` elements — the knob that decides whether the trie

@@ -4,9 +4,13 @@
 #
 # Configures a Debug build with AddressSanitizer + UndefinedBehaviorSanitizer,
 # builds everything, runs ctest, runs a pmbe_selfcheck smoke (which includes
-# a budget-truncation check every round), and finally drives the CLI against
-# a worst-case dataset with --timeout_s 1 to prove that cooperative
-# cancellation terminates promptly and cleanly under the sanitizers.
+# a budget-truncation check every round), and drives the CLI against a
+# worst-case dataset with --timeout_s 1 to prove that cooperative
+# cancellation terminates promptly and cleanly under the sanitizers. Two
+# configuration matrices follow: the set-representation legs
+# (PMBE_FORCE_BITMAP on/off) and the kernel-dispatch legs (scalar pin via
+# PMBE_FORCE_SCALAR=1, AVX2 compiled out via -DPMBE_ENABLE_AVX2=OFF), all
+# required to enumerate identical bicliques.
 #
 #   scripts/check.sh [build-dir]        # default build dir: build-asan
 
@@ -78,6 +82,47 @@ if [[ "${matrix_count[ON]}" != "${matrix_count[OFF]}" ]]; then
   exit 1
 fi
 echo "bitmap matrix OK: ${matrix_count[ON]} bicliques in both legs"
+
+echo "=== kernel-dispatch matrix: scalar pin + AVX2 compiled out ==="
+# The vectorized kernel layer (util/simd.h) must be behaviorally invisible:
+# the same bicliques whether kernels dispatch to the widest ISA, are pinned
+# to the scalar table via the environment, or have the AVX2 TU compiled out
+# entirely. Leg 1 re-runs the kernel-heavy suites of the sanitizer build
+# with the scalar pin (the SIMD differential fuzzer already ran under
+# ASan/UBSan in the ctest pass above, on the widest table the host has).
+echo "--- leg PMBE_FORCE_SCALAR=1 ($BUILD_DIR) ---"
+PMBE_FORCE_SCALAR=1 ctest --test-dir "$BUILD_DIR" --output-on-failure \
+  -j "$(nproc)" -R 'Simd|SetOps|MembershipMask|NeighborhoodTrie|VertexSet'
+scalar_out=$(PMBE_FORCE_SCALAR=1 "$BUILD_DIR/tools/pmbe_selfcheck" \
+             --rounds 25 --seed 7)
+echo "$scalar_out" | sed 's/^/  /'
+echo "$scalar_out" | grep -q 'kernel dispatch: scalar' || {
+  echo "FAIL: PMBE_FORCE_SCALAR=1 leg did not run on the scalar table" >&2
+  exit 1
+}
+scalar_count=$(echo "$scalar_out" | grep -o '[0-9]* bicliques' | grep -o '[0-9]*')
+
+echo "--- leg -DPMBE_ENABLE_AVX2=OFF ($BUILD_DIR-noavx2) ---"
+NOAVX2_DIR="$BUILD_DIR-noavx2"
+cmake -B "$NOAVX2_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DPMBE_ENABLE_AVX2=OFF
+cmake --build "$NOAVX2_DIR" -j "$(nproc)"
+ctest --test-dir "$NOAVX2_DIR" --output-on-failure -j "$(nproc)"
+noavx2_out=$("$NOAVX2_DIR/tools/pmbe_selfcheck" --rounds 25 --seed 7)
+echo "$noavx2_out" | sed 's/^/  /'
+noavx2_count=$(echo "$noavx2_out" | grep -o '[0-9]* bicliques' | grep -o '[0-9]*')
+
+# Same --rounds/--seed as the bitmap legs above, so all four leg counts
+# must agree exactly.
+if [[ "$scalar_count" != "${matrix_count[OFF]}" || \
+      "$noavx2_count" != "${matrix_count[OFF]}" ]]; then
+  echo "FAIL: selfcheck biclique counts diverge across dispatch legs:" \
+       "scalar=$scalar_count noavx2=$noavx2_count" \
+       "default=${matrix_count[OFF]}" >&2
+  exit 1
+fi
+echo "kernel-dispatch matrix OK: $scalar_count bicliques in every leg"
 
 echo "=== ThreadSanitizer leg: work-stealing deque + parallel driver ==="
 # The Chase–Lev deque keeps all shared state in std::atomic precisely so

@@ -11,6 +11,7 @@
 #include "baselines/oombea_lite.h"
 #include "graph/reduction.h"
 #include "parallel/parallel_mbe.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace mbe {
@@ -328,6 +329,12 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
   }
 
   // --- Enumeration -------------------------------------------------------
+  // Kernel-call attribution: the counters are process-wide (per-thread
+  // blocks summed), so diff a snapshot around the run. Concurrent runs in
+  // one process would bleed into each other's deltas; the facade has no
+  // such callers today and the counters are diagnostics, not invariants.
+  const simd::KernelCallCounters kernel_calls_before =
+      simd::SnapshotKernelCalls();
   util::WallTimer timer;
   if (options.threads > 1) {
     ParallelOptions popts;
@@ -392,6 +399,17 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
     }
   }
   result.seconds = timer.Seconds();
+  {
+    const simd::KernelCallCounters after = simd::SnapshotKernelCalls();
+    result.stats.kernel_dispatch =
+        static_cast<uint64_t>(simd::ActiveLevel());
+    result.stats.simd_intersect_calls =
+        after.intersect - kernel_calls_before.intersect;
+    result.stats.simd_difference_calls =
+        after.difference - kernel_calls_before.difference;
+    result.stats.simd_mask_calls = after.mask - kernel_calls_before.mask;
+    result.stats.simd_word_calls = after.word - kernel_calls_before.word;
+  }
   if (ctrl != nullptr) {
     result.termination = ctrl->termination();
     result.results_emitted = ctrl->results();

@@ -43,6 +43,22 @@ struct EnumStats {
   /// Intersections answered by the word-AND bitmap kernels instead of a
   /// merge/gallop over sorted lists.
   uint64_t bitmap_kernel_calls = 0;
+  /// Instruction-set level of the vectorized kernel table the run
+  /// dispatched to (numeric simd::DispatchLevel: 0 scalar, 1 sse4.2,
+  /// 2 avx2). NOT additive: merged via max (workers share one process-wide
+  /// dispatch).
+  uint64_t kernel_dispatch = 0;
+  /// Calls dispatched through the vectorized kernel table, by family
+  /// (util/simd.h KernelOp). Process-wide snapshot deltas captured around
+  /// the run by the API facade; tiny operands served by inline scalar
+  /// loops are not counted.
+  uint64_t simd_intersect_calls = 0;
+  /// difference / is_subset family.
+  uint64_t simd_difference_calls = 0;
+  /// mask_count / mask_filter (membership-mask probe) family.
+  uint64_t simd_mask_calls = 0;
+  /// and_words / and_count (bitmap word) family.
+  uint64_t simd_word_calls = 0;
   /// High-water mark of the per-thread EnumContext scratch arenas, in
   /// bytes. NOT additive: merged via max (workers' arenas coexist, but
   /// the per-thread peak is the capacity-planning number).
@@ -75,6 +91,13 @@ struct EnumStats {
     subtrees_pruned += other.subtrees_pruned;
     bitmap_conversions += other.bitmap_conversions;
     bitmap_kernel_calls += other.bitmap_kernel_calls;
+    if (other.kernel_dispatch > kernel_dispatch) {
+      kernel_dispatch = other.kernel_dispatch;
+    }
+    simd_intersect_calls += other.simd_intersect_calls;
+    simd_difference_calls += other.simd_difference_calls;
+    simd_mask_calls += other.simd_mask_calls;
+    simd_word_calls += other.simd_word_calls;
     if (other.arena_peak_bytes > arena_peak_bytes) {
       arena_peak_bytes = other.arena_peak_bytes;
     }

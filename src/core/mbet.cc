@@ -271,9 +271,15 @@ void MbetEnumerator::Classify(Level& lvl) {
     stats_.bitmap_kernel_calls += n;
     return;
   }
-  // Direct per-group scan over stored locals (trie ablated).
+  // Direct per-group scan over stored locals (trie ablated). Pull the
+  // next group's loc run toward L1 while the mask kernel chews on the
+  // current one; the runs live in one arena but groups are visited in
+  // aggregation order, so the hardware streamer does not cover the hops.
   for (size_t h = 0; h < n; ++h) {
     const Group& g = lvl.groups[h];
+    if (h + 1 < n) {
+      __builtin_prefetch(lvl.locs.data() + lvl.groups[h + 1].loc_off);
+    }
     lvl.counts[h] =
         static_cast<uint32_t>(IntersectSizeWithMask(lvl.LocOf(g), lp_mask_));
     stats_.trie_probes += g.loc_len;

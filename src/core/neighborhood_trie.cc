@@ -22,8 +22,10 @@ void NeighborhoodTrie::Build(std::span<const std::span<const VertexId>> lists,
     total_length_ += cur.size();
     if (cur.empty()) {
       // Empty lists always count 0; they are not represented in the trie.
-      prev = cur;
-      path.clear();
+      // Keep `prev`/`path` untouched: an empty list is a prefix of
+      // everything, so it does not break the lexicographic ordering, and
+      // clearing the running path here would make the next list re-insert
+      // nodes the trie already has (duplicating its full path).
       continue;
     }
     // Shared path = common prefix with the previously inserted list
@@ -132,13 +134,26 @@ size_t NeighborhoodTrie::ClassifyAll(const MembershipMask& mask,
   count_stack_.resize(max_depth_ + 1);
   uint32_t* stack = count_stack_.data();
   uint32_t* out = counts->data();
+  const uint64_t* packed = packed_.data();
+  const uint64_t* words = mask.words();
   const size_t n = packed_.size();
+  // The node stream is sequential but the mask probes hop across the
+  // word-packed bitmap, so pull the probe word of the node 8 ahead (and
+  // the next cache line of the stream) while the stack update retires.
+  constexpr size_t kPrefetchAhead = 8;
   for (size_t i = 0; i < n; ++i) {
-    const uint64_t node = packed_[i];
+    if (i + kPrefetchAhead < n) {
+      const uint64_t ahead = packed[i + kPrefetchAhead];
+      __builtin_prefetch(words + (static_cast<VertexId>(ahead) >> 6));
+      if ((i & 7) == 0) __builtin_prefetch(packed + i + kPrefetchAhead);
+    }
+    const uint64_t node = packed[i];
     const VertexId vertex = static_cast<VertexId>(node);
     const uint32_t depth = static_cast<uint32_t>(node >> 32);
-    const uint32_t count =
-        (depth ? stack[depth - 1] : 0u) + (mask.Test(vertex) ? 1u : 0u);
+    PMBE_DCHECK(vertex < mask.universe());
+    const uint32_t bit =
+        static_cast<uint32_t>((words[vertex >> 6] >> (vertex & 63)) & 1);
+    const uint32_t count = (depth ? stack[depth - 1] : 0u) + bit;
     stack[depth] = count;
     for (int32_t g = first_group_[i]; g >= 0; g = next_group_[g]) {
       out[g] = count;

@@ -40,7 +40,9 @@ class NeighborhoodTrie {
   /// shares exactly the common prefix of consecutive lists, which is the
   /// full shared path if and only if the order is lexicographic. Groups
   /// with identical lists share their terminal. Empty lists always
-  /// classify to 0.
+  /// classify to 0 and may appear anywhere in the order (an empty list is
+  /// a prefix of everything, so it never breaks the ordering invariant and
+  /// is skipped without disturbing the running path).
   void Build(std::span<const std::span<const VertexId>> lists,
              std::span<const uint32_t> order);
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/biclique.h"
+#include "util/simd.h"
+#include "util/simd_scalar.h"
 
 namespace mbe {
 
@@ -10,111 +12,133 @@ namespace {
 
 // When one operand is at least this many times longer than the other,
 // gallop (binary search each element of the short side in the long side)
-// instead of a linear merge.
+// instead of dispatching the block-merge kernel.
 constexpr size_t kGallopRatio = 32;
 
-// Galloping intersection: for each x in `small`, binary-search in `big`.
-// Visitor is called for each common element; returns false to stop early.
-template <typename Visitor>
-void GallopCommon(std::span<const VertexId> small,
-                  std::span<const VertexId> big, Visitor&& visit) {
+// Below this operand size the function-pointer dispatch plus the output
+// resize costs more than the work; stay on inline scalar loops.
+constexpr size_t kSmallOperand = 16;
+
+using simd::internal::BranchlessLowerBound;
+
+// Galloping intersection: binary-search each element of `small` in the
+// remaining suffix of `big`. The branchless lower bound keeps the search
+// pipeline free of mispredicts (docs/SET_REPRESENTATION.md).
+size_t GallopIntersect(std::span<const VertexId> small,
+                       std::span<const VertexId> big, VertexId* out) {
   const VertexId* lo = big.data();
   const VertexId* end = big.data() + big.size();
+  size_t count = 0;
   for (VertexId x : small) {
-    lo = std::lower_bound(lo, end, x);
-    if (lo == end) return;
+    lo = BranchlessLowerBound(lo, static_cast<size_t>(end - lo), x);
+    if (lo == end) break;
     if (*lo == x) {
-      if (!visit(x)) return;
+      if (out != nullptr) out[count] = x;
+      ++count;
       ++lo;
     }
   }
+  return count;
 }
 
-// Linear merge intersection; same visitor contract.
-template <typename Visitor>
-void MergeCommon(std::span<const VertexId> a, std::span<const VertexId> b,
-                 Visitor&& visit) {
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      ++i;
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      if (!visit(a[i])) return;
-      ++i;
-      ++j;
+size_t GallopIntersectSizeCapped(std::span<const VertexId> small,
+                                 std::span<const VertexId> big, size_t cap) {
+  const VertexId* lo = big.data();
+  const VertexId* end = big.data() + big.size();
+  size_t count = 0;
+  for (VertexId x : small) {
+    if (count >= cap) return cap;
+    lo = BranchlessLowerBound(lo, static_cast<size_t>(end - lo), x);
+    if (lo == end) break;
+    if (*lo == x) {
+      ++count;
+      ++lo;
     }
   }
+  return count < cap ? count : cap;
 }
 
-template <typename Visitor>
-void ForEachCommon(std::span<const VertexId> a, std::span<const VertexId> b,
-                   Visitor&& visit) {
-  if (a.size() > b.size()) std::swap(a, b);
-  if (a.empty()) return;
-  if (b.size() / a.size() >= kGallopRatio) {
-    GallopCommon(a, b, visit);
-  } else {
-    MergeCommon(a, b, visit);
-  }
+bool Lopsided(size_t small, size_t big) {
+  return small == 0 || big / small >= kGallopRatio;
+}
+
+// Sizes `*out` so a kernel may scribble `kStorePad` lanes past `bound`
+// results, without paying vector::clear + re-zeroing on the hot path.
+VertexId* KernelOutput(std::vector<VertexId>* out, size_t bound) {
+  out->resize(bound + simd::kStorePad);
+  return out->data();
 }
 
 }  // namespace
 
 void Intersect(std::span<const VertexId> a, std::span<const VertexId> b,
                std::vector<VertexId>* out) {
-  out->clear();
-  ForEachCommon(a, b, [out](VertexId x) {
-    out->push_back(x);
-    return true;
-  });
+  IntersectInto(a, b, out, IntersectStrategy::kAuto);
 }
 
 void IntersectInto(std::span<const VertexId> a, std::span<const VertexId> b,
                    std::vector<VertexId>* out, IntersectStrategy strategy) {
-  out->clear();
-  auto visit = [out](VertexId x) {
-    out->push_back(x);
-    return true;
-  };
+  if (a.size() > b.size()) std::swap(a, b);
   switch (strategy) {
     case IntersectStrategy::kAuto:
-      ForEachCommon(a, b, visit);
-      break;
+      if (Lopsided(a.size(), b.size())) {
+        out->resize(GallopIntersect(a, b, KernelOutput(out, a.size())));
+        return;
+      }
+      if (a.size() < kSmallOperand) {
+        out->resize(simd::internal::ScalarIntersect(
+            a.data(), a.size(), b.data(), b.size(), KernelOutput(out, a.size())));
+        return;
+      }
+      [[fallthrough]];
     case IntersectStrategy::kMerge:
-      MergeCommon(a, b, visit);
-      break;
+      simd::CountKernelCall(simd::KernelOp::kIntersect);
+      out->resize(simd::Kernels().intersect(a.data(), a.size(), b.data(),
+                                            b.size(),
+                                            KernelOutput(out, a.size())));
+      return;
     case IntersectStrategy::kGallop:
-      if (a.size() > b.size()) std::swap(a, b);
-      if (!a.empty()) GallopCommon(a, b, visit);
-      break;
+      out->resize(GallopIntersect(a, b, KernelOutput(out, a.size())));
+      return;
   }
 }
 
 size_t IntersectSize(std::span<const VertexId> a,
                      std::span<const VertexId> b) {
-  size_t count = 0;
-  ForEachCommon(a, b, [&count](VertexId) {
-    ++count;
-    return true;
-  });
-  return count;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (Lopsided(a.size(), b.size())) return GallopIntersect(a, b, nullptr);
+  if (a.size() < kSmallOperand) {
+    return simd::internal::ScalarIntersectSize(a.data(), a.size(), b.data(),
+                                               b.size());
+  }
+  simd::CountKernelCall(simd::KernelOp::kIntersect);
+  return simd::Kernels().intersect_size(a.data(), a.size(), b.data(),
+                                        b.size());
 }
 
 size_t IntersectSizeCapped(std::span<const VertexId> a,
                            std::span<const VertexId> b, size_t cap) {
-  size_t count = 0;
-  ForEachCommon(a, b, [&count, cap](VertexId) {
-    ++count;
-    return count < cap;
-  });
-  return count;
+  if (a.size() > b.size()) std::swap(a, b);
+  if (Lopsided(a.size(), b.size())) {
+    return GallopIntersectSizeCapped(a, b, cap);
+  }
+  if (a.size() < kSmallOperand) {
+    return simd::internal::ScalarIntersectSizeCapped(a.data(), a.size(),
+                                                     b.data(), b.size(), cap);
+  }
+  simd::CountKernelCall(simd::KernelOp::kIntersect);
+  return simd::Kernels().intersect_size_capped(a.data(), a.size(), b.data(),
+                                               b.size(), cap);
 }
 
 bool IsSubset(std::span<const VertexId> a, std::span<const VertexId> b) {
   if (a.size() > b.size()) return false;
-  return IntersectSize(a, b) == a.size();
+  if (Lopsided(a.size(), b.size()) || a.size() < kSmallOperand) {
+    return simd::internal::ScalarIsSubset(a.data(), a.size(), b.data(),
+                                          b.size());
+  }
+  simd::CountKernelCall(simd::KernelOp::kDifference);
+  return simd::Kernels().is_subset(a.data(), a.size(), b.data(), b.size());
 }
 
 void Union(std::span<const VertexId> a, std::span<const VertexId> b,
@@ -139,38 +163,46 @@ void Union(std::span<const VertexId> a, std::span<const VertexId> b,
 
 void Difference(std::span<const VertexId> a, std::span<const VertexId> b,
                 std::vector<VertexId>* out) {
-  out->clear();
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j]) {
-      out->push_back(a[i++]);
-    } else if (a[i] > b[j]) {
-      ++j;
-    } else {
-      ++i;
-      ++j;
-    }
+  if (a.size() < kSmallOperand || b.size() < kSmallOperand) {
+    out->resize(simd::internal::ScalarDifference(
+        a.data(), a.size(), b.data(), b.size(), KernelOutput(out, a.size())));
+    return;
   }
-  out->insert(out->end(), a.begin() + i, a.end());
+  simd::CountKernelCall(simd::KernelOp::kDifference);
+  out->resize(simd::Kernels().difference(a.data(), a.size(), b.data(),
+                                         b.size(),
+                                         KernelOutput(out, a.size())));
 }
 
 bool Contains(std::span<const VertexId> a, VertexId x) {
-  return std::binary_search(a.begin(), a.end(), x);
+  const VertexId* lo = BranchlessLowerBound(a.data(), a.size(), x);
+  return lo != a.data() + a.size() && *lo == x;
 }
 
 size_t IntersectSizeWithMask(std::span<const VertexId> s,
                              const MembershipMask& mask) {
-  size_t count = 0;
-  for (VertexId x : s) count += mask.Test(x) ? 1 : 0;
-  return count;
+  if (s.empty()) return 0;
+  if (s.size() < kSmallOperand) {
+    return simd::internal::ScalarMaskCount(s.data(), s.size(), mask.words());
+  }
+  simd::CountKernelCall(simd::KernelOp::kMask);
+  return simd::Kernels().mask_count(s.data(), s.size(), mask.words());
 }
 
 void IntersectWithMask(std::span<const VertexId> s, const MembershipMask& mask,
                        std::vector<VertexId>* out) {
-  out->clear();
-  for (VertexId x : s) {
-    if (mask.Test(x)) out->push_back(x);
+  if (s.empty()) {
+    out->clear();
+    return;
   }
+  if (s.size() < kSmallOperand) {
+    out->resize(simd::internal::ScalarMaskFilter(
+        s.data(), s.size(), mask.words(), KernelOutput(out, s.size())));
+    return;
+  }
+  simd::CountKernelCall(simd::KernelOp::kMask);
+  out->resize(simd::Kernels().mask_filter(s.data(), s.size(), mask.words(),
+                                          KernelOutput(out, s.size())));
 }
 
 }  // namespace mbe

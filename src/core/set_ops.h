@@ -10,8 +10,12 @@
 /// \file
 /// Kernels over sorted vertex sets. Every enumeration algorithm spends the
 /// bulk of its time here, so the kernels avoid allocation (outputs go to
-/// caller-provided vectors) and adapt between linear merge and galloping
+/// caller-provided vectors) and adapt between merge and galloping
 /// (binary-search) strategies when the operand sizes are lopsided.
+/// Balanced merges and all mask probes route through the runtime-dispatched
+/// vectorized kernel table (util/simd.h); lopsided pairs use branchless
+/// galloping, and tiny operands stay on inline scalar loops to dodge the
+/// dispatch overhead.
 
 namespace mbe {
 
@@ -53,41 +57,55 @@ void Difference(std::span<const VertexId> a, std::span<const VertexId> b,
 /// True iff sorted `a` contains `x` (binary search).
 bool Contains(std::span<const VertexId> a, VertexId x);
 
-/// A reusable byte-per-vertex membership mask over one vertex side.
-/// Set/clear a working set, then probe membership in O(1). Clearing is
-/// proportional to the set size, not the universe size.
+/// A reusable word-packed membership mask over one vertex side: bit x of
+/// the mask is bit x%64 of words()[x/64]. Set/clear a working set, then
+/// probe membership in O(1). Clearing is proportional to the set size, not
+/// the universe size. The packed layout is what lets the vectorized mask
+/// kernels (util/simd.h mask_count / mask_filter) and the trie's
+/// ClassifyAll probe eight vertices per step and prefetch ahead; a
+/// byte-per-vertex mask would cost 8x the cache footprint on the same
+/// probe stream.
 class MembershipMask {
  public:
   MembershipMask() = default;
-  explicit MembershipMask(size_t universe) : mask_(universe, 0) {}
+  explicit MembershipMask(size_t universe)
+      : universe_(universe), packed_((universe + 63) / 64, 0) {}
 
   /// Grows the universe if needed (marks preserved).
   void EnsureUniverse(size_t universe) {
-    if (mask_.size() < universe) mask_.resize(universe, 0);
+    if (universe_ < universe) {
+      universe_ = universe;
+      packed_.resize((universe + 63) / 64, 0);
+    }
   }
 
   /// Marks all elements of `s` (which must be within the universe).
   void Set(std::span<const VertexId> s) {
     for (VertexId x : s) {
-      PMBE_DCHECK(x < mask_.size());
-      mask_[x] = 1;
+      PMBE_DCHECK(x < universe_);
+      packed_[x >> 6] |= uint64_t{1} << (x & 63);
     }
   }
 
   /// Unmarks all elements of `s`.
   void Clear(std::span<const VertexId> s) {
-    for (VertexId x : s) mask_[x] = 0;
+    for (VertexId x : s) packed_[x >> 6] &= ~(uint64_t{1} << (x & 63));
   }
 
   bool Test(VertexId x) const {
-    PMBE_DCHECK(x < mask_.size());
-    return mask_[x] != 0;
+    PMBE_DCHECK(x < universe_);
+    return (packed_[x >> 6] >> (x & 63)) & 1;
   }
 
-  size_t universe() const { return mask_.size(); }
+  size_t universe() const { return universe_; }
+
+  /// The packed words, ceil(universe/64) of them. Input to the mask
+  /// kernels; bits at or above `universe()` are zero.
+  const uint64_t* words() const { return packed_.data(); }
 
  private:
-  std::vector<uint8_t> mask_;
+  size_t universe_ = 0;
+  std::vector<uint64_t> packed_;
 };
 
 /// Order-dependent 64-bit hash of a vertex list (FNV-1a over elements).

@@ -4,8 +4,18 @@
 #include <utility>
 
 #include "core/set_ops.h"
+#include "util/simd.h"
+#include "util/simd_scalar.h"
 
 namespace mbe {
+
+namespace {
+
+// Below this list length the mixed list×bitmap paths stay on inline
+// probes; mirrors the threshold in core/set_ops.cc.
+constexpr size_t kSmallList = 16;
+
+}  // namespace
 
 VertexSet VertexSet::OfSorted(std::vector<VertexId> sorted, size_t universe) {
   PMBE_DCHECK(std::is_sorted(sorted.begin(), sorted.end()));
@@ -97,17 +107,26 @@ size_t IntersectSize(std::span<const uint64_t> a,
 
 void IntersectInto(std::span<const VertexId> a, std::span<const uint64_t> b,
                    std::vector<VertexId>* out) {
-  out->clear();
-  for (VertexId x : a) {
-    if (util::TestBit(b, x)) out->push_back(x);
+  if (a.size() < kSmallList) {
+    out->clear();
+    for (VertexId x : a) {
+      if (util::TestBit(b, x)) out->push_back(x);
+    }
+    return;
   }
+  simd::CountKernelCall(simd::KernelOp::kMask);
+  out->resize(a.size() + simd::kStorePad);
+  out->resize(
+      simd::Kernels().mask_filter(a.data(), a.size(), b.data(), out->data()));
 }
 
 size_t IntersectSize(std::span<const VertexId> a,
                      std::span<const uint64_t> b) {
-  size_t count = 0;
-  for (VertexId x : a) count += util::TestBit(b, x) ? 1 : 0;
-  return count;
+  if (a.size() < kSmallList) {
+    return simd::internal::ScalarMaskCount(a.data(), a.size(), b.data());
+  }
+  simd::CountKernelCall(simd::KernelOp::kMask);
+  return simd::Kernels().mask_count(a.data(), a.size(), b.data());
 }
 
 void IntersectInto(const VertexSet& a, const VertexSet& b, VertexSet* out) {

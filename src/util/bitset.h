@@ -8,14 +8,17 @@
 #include <vector>
 
 #include "util/common.h"
+#include "util/simd.h"
 
 /// \file
 /// Word-level bitmap primitives over `uint64_t` spans. These are the
 /// fixed-width kernels underneath core/vertex_set.h (the hybrid
 /// sorted-list/bitmap set layer): a set over a universe of `m` vertices is
 /// `WordsFor(m)` consecutive words, bit `x` of the set being bit `x % 64`
-/// of word `x / 64`. Kept header-only and dependency-free so both the
-/// graph preprocessing layer and the enumeration core can use them.
+/// of word `x / 64`. Kept header-only so both the graph preprocessing
+/// layer and the enumeration core can use them; the AND/popcount pair
+/// routes through the runtime-dispatched kernel table (util/simd.h) once
+/// the bitmaps are wide enough to amortize the indirect call.
 
 namespace mbe::util {
 
@@ -60,11 +63,22 @@ inline size_t CountBits(std::span<const uint64_t> words) {
   return count;
 }
 
+/// Word counts below which the AND kernels stay on inline loops (the
+/// indirect dispatch call costs more than the loop on narrow bitmaps).
+inline constexpr size_t kAndCountDispatchWords = 2;
+inline constexpr size_t kAndWordsDispatchWords = 8;
+
 /// |a ∩ b| for two bitmaps over the same universe: AND + popcount, no
 /// materialization. The O(m/64) kernel the dense classification path uses.
+/// Dispatched from two words up: the baseline x86-64 build has no popcnt
+/// instruction, so even the SSE4.2 table's scalar body wins here.
 inline size_t AndCountBits(std::span<const uint64_t> a,
                            std::span<const uint64_t> b) {
   PMBE_DCHECK(a.size() == b.size());
+  if (a.size() >= kAndCountDispatchWords) {
+    simd::CountKernelCall(simd::KernelOp::kWord);
+    return simd::Kernels().and_count(a.data(), b.data(), a.size());
+  }
   size_t count = 0;
   for (size_t i = 0; i < a.size(); ++i) {
     count += static_cast<size_t>(std::popcount(a[i] & b[i]));
@@ -76,6 +90,11 @@ inline size_t AndCountBits(std::span<const uint64_t> a,
 inline void AndWords(std::span<const uint64_t> a, std::span<const uint64_t> b,
                      std::span<uint64_t> out) {
   PMBE_DCHECK(a.size() == b.size() && out.size() == a.size());
+  if (a.size() >= kAndWordsDispatchWords) {
+    simd::CountKernelCall(simd::KernelOp::kWord);
+    simd::Kernels().and_words(a.data(), b.data(), out.data(), a.size());
+    return;
+  }
   for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] & b[i];
 }
 

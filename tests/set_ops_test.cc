@@ -182,6 +182,51 @@ TEST(MembershipMaskTest, IntersectWithMaskMatchesReference) {
   }
 }
 
+TEST(MembershipMaskTest, SetClearRoundTripsAtWordBoundaries) {
+  // 63/64/65 straddle the first packed-word boundary; 127/128 the second.
+  MembershipMask mask(130);
+  std::vector<VertexId> boundary = {63, 64, 65, 127, 128};
+  mask.Set(boundary);
+  for (VertexId x : boundary) EXPECT_TRUE(mask.Test(x)) << x;
+  // Neighbors of the set bits stay clear (no word-level bleed).
+  for (VertexId x : {62u, 66u, 126u, 129u}) EXPECT_FALSE(mask.Test(x)) << x;
+  std::vector<VertexId> lower = {63, 127};
+  mask.Clear(lower);
+  EXPECT_FALSE(mask.Test(63));
+  EXPECT_FALSE(mask.Test(127));
+  EXPECT_TRUE(mask.Test(64));
+  EXPECT_TRUE(mask.Test(65));
+  EXPECT_TRUE(mask.Test(128));
+}
+
+TEST(MembershipMaskTest, UniverseGrowthPreservesMarksAcrossWords) {
+  // Start below one word, grow past several word boundaries, and check
+  // both the preserved marks and the freshly grown region.
+  MembershipMask mask(50);
+  std::vector<VertexId> s = {0, 31, 49};
+  mask.Set(s);
+  for (size_t universe : {64u, 65u, 128u, 300u}) {
+    mask.EnsureUniverse(universe);
+    EXPECT_EQ(mask.universe(), universe);
+    EXPECT_TRUE(mask.Test(0));
+    EXPECT_TRUE(mask.Test(31));
+    EXPECT_TRUE(mask.Test(49));
+    const std::vector<VertexId> top = {static_cast<VertexId>(universe - 1)};
+    EXPECT_FALSE(mask.Test(top[0]));
+    mask.Set(top);
+    EXPECT_TRUE(mask.Test(top[0]));
+    mask.Clear(top);
+  }
+}
+
+TEST(MembershipMaskTest, WordsExposePackedLayout) {
+  MembershipMask mask(70);
+  std::vector<VertexId> s = {0, 63, 64, 69};
+  mask.Set(s);
+  EXPECT_EQ(mask.words()[0], (uint64_t{1} << 63) | 1u);
+  EXPECT_EQ(mask.words()[1], (uint64_t{1} << 5) | 1u);
+}
+
 // --- HashVertexSpan ----------------------------------------------------------
 
 TEST(HashVertexSpanTest, EqualListsHashEqual) {

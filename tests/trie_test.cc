@@ -64,6 +64,43 @@ TEST(NeighborhoodTrieTest, EmptyAndSingletonLists) {
   EXPECT_EQ(counts, (std::vector<uint32_t>{0, 1, 0}));
 }
 
+TEST(NeighborhoodTrieTest, EmptyListMidOrderDoesNotDuplicatePath) {
+  // Regression: an empty list between two prefix-sharing lists used to
+  // reset the running path, so the second list re-inserted its full path
+  // and duplicated the shared {1, 2} prefix (6 nodes instead of 4).
+  Lists lists = {{1, 2, 3}, {}, {1, 2, 4}};
+  const std::vector<uint32_t> order = {0, 1, 2};
+  NeighborhoodTrie trie;
+  trie.Build(Spans(lists), order);
+  EXPECT_EQ(trie.num_nodes(), 4u);
+  EXPECT_EQ(trie.num_groups(), 3u);
+
+  MembershipMask mask(8);
+  std::vector<VertexId> members = {1, 2, 4};
+  mask.Set(members);
+  std::vector<uint32_t> counts;
+  trie.ClassifyAll(mask, &counts);
+  EXPECT_EQ(counts, DirectCounts(lists, mask));
+  EXPECT_EQ(counts, (std::vector<uint32_t>{2, 0, 3}));
+}
+
+TEST(NeighborhoodTrieTest, EmptyListsSprinkledIntoLexicographicOrder) {
+  // Empty lists are prefixes of everything, so placing them anywhere in an
+  // otherwise lexicographic order is legal and must not change structure.
+  Lists lists = {{}, {1, 2}, {}, {1, 2, 5}, {}, {3}, {}};
+  const std::vector<uint32_t> order = {0, 1, 2, 3, 4, 5, 6};
+  NeighborhoodTrie trie;
+  trie.Build(Spans(lists), order);
+  EXPECT_EQ(trie.num_nodes(), 4u);  // 1, 2, 5, 3
+
+  MembershipMask mask(8);
+  std::vector<VertexId> members = {2, 3, 5};
+  mask.Set(members);
+  std::vector<uint32_t> counts;
+  trie.ClassifyAll(mask, &counts);
+  EXPECT_EQ(counts, DirectCounts(lists, mask));
+}
+
 TEST(NeighborhoodTrieTest, NoLists) {
   NeighborhoodTrie trie;
   trie.BuildUnordered({});

@@ -26,6 +26,7 @@
 #include "gen/registry.h"
 #include "graph/graph_io.h"
 #include "util/flags.h"
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -238,6 +239,14 @@ int main(int argc, char** argv) {
     std::printf("  bitmap kernels:      %llu calls, %llu conversions\n",
                 static_cast<unsigned long long>(s.bitmap_kernel_calls),
                 static_cast<unsigned long long>(s.bitmap_conversions));
+    std::printf("  kernel dispatch:     %s (intersect %llu, difference %llu, "
+                "mask %llu, word %llu calls)\n",
+                simd::DispatchLevelName(
+                    static_cast<simd::DispatchLevel>(s.kernel_dispatch)),
+                static_cast<unsigned long long>(s.simd_intersect_calls),
+                static_cast<unsigned long long>(s.simd_difference_calls),
+                static_cast<unsigned long long>(s.simd_mask_calls),
+                static_cast<unsigned long long>(s.simd_word_calls));
     if (s.arena_peak_bytes > 0) {
       std::printf("  arena peak:          %s bytes (per-thread scratch)\n",
                   util::HumanCount(static_cast<double>(s.arena_peak_bytes))

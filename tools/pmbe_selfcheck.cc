@@ -22,6 +22,7 @@
 #include "graph/graph_io.h"
 #include "util/flags.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/timer.h"
 
 namespace {
@@ -240,8 +241,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "self-check passed: %lld rounds, %llu bicliques cross-checked, %.1fs\n",
+      "self-check passed: %lld rounds, %llu bicliques cross-checked, %.1fs "
+      "(kernel dispatch: %s)\n",
       static_cast<long long>(rounds),
-      static_cast<unsigned long long>(total_bicliques), timer.Seconds());
+      static_cast<unsigned long long>(total_bicliques), timer.Seconds(),
+      simd::DispatchLevelName(simd::ActiveLevel()));
   return 0;
 }
