@@ -6,11 +6,14 @@
 # builds everything, runs ctest, runs a pmbe_selfcheck smoke (which includes
 # a budget-truncation check every round), and drives the CLI against a
 # worst-case dataset with --timeout_s 1 to prove that cooperative
-# cancellation terminates promptly and cleanly under the sanitizers. Two
-# configuration matrices follow: the set-representation legs
+# cancellation terminates promptly and cleanly under the sanitizers. Then
+# the configuration matrices: the set-representation legs
 # (PMBE_FORCE_BITMAP on/off) and the kernel-dispatch legs (scalar pin via
 # PMBE_FORCE_SCALAR=1, AVX2 compiled out via -DPMBE_ENABLE_AVX2=OFF), all
-# required to enumerate identical bicliques.
+# required to enumerate identical bicliques; the fault-injection matrix
+# (-DPMBE_FAULT_INJECTION=ON + ASan: countdown sweep over every fault
+# point, chaos rounds, CLI/env arming, graph_io fuzz smoke); a
+# memory-budget proof; and the TSan leg.
 #
 #   scripts/check.sh [build-dir]        # default build dir: build-asan
 
@@ -123,6 +126,59 @@ if [[ "$scalar_count" != "${matrix_count[OFF]}" || \
   exit 1
 fi
 echo "kernel-dispatch matrix OK: $scalar_count bicliques in every leg"
+
+echo "=== fault-injection matrix: -DPMBE_FAULT_INJECTION=ON + ASan ==="
+# Compile the named fault points in (util/fault.h) and prove, under ASan,
+# that every injected failure ends in a typed termination with a valid
+# result prefix — never a crash or a leak. The countdown sweep
+# (pmbe_selfcheck --fault_sweep) fires every registered point at depths
+# 1..N; the chaos rounds layer probabilistic faults, memory caps, and
+# watchdogs over the differential graphs; the CLI legs prove the
+# programmatic (--fault) and environment (PMBE_FAULT_INJECT) arming paths.
+FAULT_DIR="$BUILD_DIR-fault"
+cmake -B "$FAULT_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPMBE_FAULT_INJECTION=ON \
+  -DPMBE_BUILD_FUZZERS=ON \
+  -DCMAKE_CXX_FLAGS="$SAN_FLAGS" \
+  -DCMAKE_EXE_LINKER_FLAGS="$SAN_FLAGS"
+cmake --build "$FAULT_DIR" -j "$(nproc)"
+ctest --test-dir "$FAULT_DIR" --output-on-failure -j "$(nproc)" \
+  -R 'Fault|MemoryBudget|MemoryLimit|Containment|Watchdog|ControlTimesBudget|GraphIo'
+"$FAULT_DIR/tools/pmbe_selfcheck" --fault_sweep
+"$FAULT_DIR/tools/pmbe_selfcheck" --rounds 10 --seed 3 --chaos
+fault_out=$("$FAULT_DIR/tools/pmbe" --dataset GH --fault 'arena.grow:1' \
+            --max_memory_mb 64 --stats=false)
+echo "$fault_out" | sed 's/^/  [--fault] /'
+echo "$fault_out" | grep -q "stopped early: memory-limit" || {
+  echo "FAIL: --fault arena.grow:1 did not stop with memory-limit" >&2
+  exit 1
+}
+env_out=$(PMBE_FAULT_INJECT='worker.task:1' "$FAULT_DIR/tools/pmbe" \
+          --dataset GH --threads 4 --watchdog_s 10 --stats=false)
+echo "$env_out" | sed 's/^/  [env] /'
+echo "$env_out" | grep -q "stopped early: internal" || {
+  echo "FAIL: PMBE_FAULT_INJECT worker.task:1 did not stop with internal" >&2
+  exit 1
+}
+echo "fault matrix OK"
+
+echo "=== memory-budget proof: capped run on a worst-case graph ==="
+# DBT at 8 threads charges ~17 MB peak (per-worker sink buffers + split
+# subtree states), so a 1 MiB cap must terminate the run (memory-limit)
+# even after degradation sheds what it can; the fault_test suite pins the
+# complementary properties (peak <= cap, no-cap digest identity).
+cap_out=$("$BUILD_DIR/tools/pmbe" --dataset DBT --threads 8 \
+          --max_memory_mb 1 --timeout_s 30 --stats=false)
+echo "$cap_out" | sed 's/^/  [capped] /'
+echo "$cap_out" | grep -q "stopped early: memory-limit" || {
+  echo "FAIL: --max_memory_mb 1 did not stop with memory-limit" >&2
+  exit 1
+}
+echo "memory-budget proof OK"
+
+echo "=== graph_io fuzz smoke (bad-input corpus + mutation loop) ==="
+"$FAULT_DIR/tools/fuzz_graph_io" -runs=20000 tests/data/bad/*.txt
 
 echo "=== ThreadSanitizer leg: work-stealing deque + parallel driver ==="
 # The Chase–Lev deque keeps all shared state in std::atomic precisely so

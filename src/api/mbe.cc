@@ -11,6 +11,8 @@
 #include "baselines/oombea_lite.h"
 #include "graph/reduction.h"
 #include "parallel/parallel_mbe.h"
+#include "util/fault.h"
+#include "util/memory.h"
 #include "util/simd.h"
 #include "util/timer.h"
 
@@ -114,6 +116,10 @@ util::Status Options::Validate() const {
   if (std::isnan(control.progress_every_s)) {
     return util::Status::InvalidArgument(
         "control.progress_every_s must not be NaN");
+  }
+  if (!(watchdog_stall_seconds >= 0)) {  // negatives and NaN
+    return util::Status::InvalidArgument(
+        "watchdog_stall_seconds must be >= 0 (0 disables the watchdog)");
   }
   return util::Status::Ok();
 }
@@ -237,6 +243,18 @@ std::vector<VertexId> IdentityPerm(size_t n) {
   return perm;
 }
 
+/// Scopes the process-wide memory budget to one run: installs the cap on
+/// entry and removes it (clearing the exhausted latch) on every exit path.
+class BudgetScope {
+ public:
+  explicit BudgetScope(uint64_t hard_cap_bytes) {
+    util::GlobalMemoryBudget().BeginRun(hard_cap_bytes);
+  }
+  ~BudgetScope() { util::GlobalMemoryBudget().EndRun(); }
+  BudgetScope(const BudgetScope&) = delete;
+  BudgetScope& operator=(const BudgetScope&) = delete;
+};
+
 // Hub-first (descending degree) permutation of the left side: new id i is
 // old id perm[i].
 std::vector<VertexId> HubFirstLeftPerm(const BipartiteGraph& graph) {
@@ -313,17 +331,33 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
                              swapped);
   result.preprocess_seconds = prep_timer.Seconds();
 
+  // Memory budget: scope the process-wide budget to this run. With
+  // max_memory_bytes == 0 the cap and pressure thresholds stay off and
+  // only the (cheap) accounting runs, so results are identical.
+  BudgetScope budget_scope(options.max_memory_bytes);
+  util::MemoryBudget& budget = util::GlobalMemoryBudget();
+  const uint64_t degradations_before = budget.degradations();
+  const uint64_t faults_before =
+      util::FaultRegistry::Global().faults_injected();
+
   // Run control: one controller shared by every worker of this run,
   // spliced into the sink chain so emissions count against the result
   // budget and the stop flag is visible to all existing ShouldStop polls.
-  // Inert control (the default) skips the machinery entirely.
+  // Inert control skips the machinery entirely — but a memory cap, a
+  // watchdog, or an armed fault registry needs the controller too (it is
+  // what converts exhaustion/failure into a typed termination).
+  const bool wants_controller =
+      options.control.active() || options.max_memory_bytes > 0 ||
+      options.watchdog_stall_seconds > 0 ||
+      util::FaultRegistry::Global().armed();
   std::optional<RunController> controller;
   std::optional<ControlledSink> controlled;
   ResultSink* run_sink = &translator;
   RunController* ctrl = nullptr;
-  if (options.control.active()) {
+  if (wants_controller) {
     controller.emplace(options.control);
     ctrl = &*controller;
+    ctrl->AttachMemoryBudget(&budget);
     controlled.emplace(&translator, ctrl);
     run_sink = &*controlled;
   }
@@ -336,27 +370,30 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
   const simd::KernelCallCounters kernel_calls_before =
       simd::SnapshotKernelCalls();
   util::WallTimer timer;
-  if (options.threads > 1) {
-    ParallelOptions popts;
-    popts.threads = options.threads;
-    popts.scheduling = options.scheduling;
-    popts.controller = ctrl;
-    popts.max_split = options.max_split;
-    WorkerFactory factory;
-    if (options.algorithm == Algorithm::kMbet ||
-        options.algorithm == Algorithm::kMbetM) {
-      MbetOptions mopts = effective.mbet;
-      mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
-      factory = [&work, mopts, ctrl]() -> std::unique_ptr<SubtreeWorker> {
-        return std::make_unique<MbetWorker>(work, mopts, ctrl);
-      };
-    } else {
-      factory = [&work, ctrl]() -> std::unique_ptr<SubtreeWorker> {
-        return std::make_unique<ImbeaWorker>(work, ctrl);
-      };
+  auto run_enumeration = [&]() {
+    if (options.threads > 1) {
+      ParallelOptions popts;
+      popts.threads = options.threads;
+      popts.scheduling = options.scheduling;
+      popts.controller = ctrl;
+      popts.max_split = options.max_split;
+      popts.watchdog_stall_seconds = options.watchdog_stall_seconds;
+      WorkerFactory factory;
+      if (options.algorithm == Algorithm::kMbet ||
+          options.algorithm == Algorithm::kMbetM) {
+        MbetOptions mopts = effective.mbet;
+        mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
+        factory = [&work, mopts, ctrl]() -> std::unique_ptr<SubtreeWorker> {
+          return std::make_unique<MbetWorker>(work, mopts, ctrl);
+        };
+      } else {
+        factory = [&work, ctrl]() -> std::unique_ptr<SubtreeWorker> {
+          return std::make_unique<ImbeaWorker>(work, ctrl);
+        };
+      }
+      result.stats = ParallelEnumerate(work, factory, popts, run_sink);
+      return;
     }
-    result.stats = ParallelEnumerate(work, factory, popts, run_sink);
-  } else {
     switch (options.algorithm) {
       case Algorithm::kMbet:
       case Algorithm::kMbetM: {
@@ -397,6 +434,25 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
         break;
       }
     }
+  };
+  // Containment: an exception escaping the engines (a throwing user sink
+  // in a single-thread run, or a parallel failure the driver rethrew for
+  // lack of a controller) is a component failure, not a crash. With a
+  // controller it becomes Termination::kInternal and the sink keeps its
+  // valid prefix; without one it is reported as a kInternal Status.
+  try {
+    run_enumeration();
+  } catch (const std::exception& e) {
+    if (ctrl == nullptr) {
+      return util::Status::Internal(std::string("enumeration failed: ") +
+                                    e.what());
+    }
+    ctrl->ReportInternal(e.what());
+  } catch (...) {
+    if (ctrl == nullptr) {
+      return util::Status::Internal("enumeration failed: unknown exception");
+    }
+    ctrl->ReportInternal("unknown exception");
   }
   result.seconds = timer.Seconds();
   {
@@ -410,9 +466,20 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
     result.stats.simd_mask_calls = after.mask - kernel_calls_before.mask;
     result.stats.simd_word_calls = after.word - kernel_calls_before.word;
   }
+  // Robustness counters: read the budget's peak before BudgetScope
+  // re-baselines it, and diff the process-wide degradation / fault
+  // totals around the run.
+  result.stats.peak_charged_bytes = budget.peak();
+  result.stats.degradations = budget.degradations() - degradations_before;
+  result.stats.faults_injected =
+      util::FaultRegistry::Global().faults_injected() - faults_before;
   if (ctrl != nullptr) {
+    // The memory latch may have tripped after the last worker checkpoint;
+    // fold it in so short runs still report kMemoryLimit.
+    if (budget.exhausted()) ctrl->RequestStop(Termination::kMemoryLimit);
     result.termination = ctrl->termination();
     result.results_emitted = ctrl->results();
+    result.message = ctrl->message();
   } else {
     result.termination = Termination::kComplete;
     result.results_emitted = result.stats.maximal;

@@ -108,6 +108,24 @@ struct Options {
   /// Default-constructed control is inert and costs nothing.
   RunControl control;
 
+  /// Hard cap, in bytes, on the enumeration memory this run accounts
+  /// (scratch arenas, per-node level/trie/bitmap state, sink buffers) —
+  /// docs/ROBUSTNESS.md. 0 = unlimited. Past 75% of the cap consumers
+  /// degrade gracefully (sorted lists instead of bitmaps, no tries,
+  /// smaller sink batches, no subtree splits) — slower, identical
+  /// results; past the cap the run stops with
+  /// Termination::kMemoryLimit and the sink holds a valid prefix.
+  /// `RunResult::stats.peak_charged_bytes` never exceeds the cap. The
+  /// budget is process-wide: run capped enumerations one at a time.
+  uint64_t max_memory_bytes = 0;
+
+  /// Worker watchdog stall bound in seconds (parallel runs only; 0 =
+  /// off). A worker silent for this long — no task pickup, no steal
+  /// round — stops the run with Termination::kInternal instead of
+  /// hanging it. The bound is on the longest single task, so leave it
+  /// off unless task durations are known (see docs/ROBUSTNESS.md).
+  double watchdog_stall_seconds = 0;
+
   /// Checks the options for internal consistency: thread count, parallel
   /// support of the chosen algorithm, size-threshold sanity, run-control
   /// sanity. OK options never make Enumerate abort.
@@ -129,6 +147,11 @@ struct RunResult {
   /// Bicliques emitted to the caller's sink (equals stats.maximal except
   /// when a result budget dropped racing emissions in a parallel run).
   uint64_t results_emitted = 0;
+
+  /// Diagnostic for Termination::kInternal: what failed (the first
+  /// contained exception's message, or the watchdog's report). Empty
+  /// otherwise.
+  std::string message;
 
   /// Convenience: did the run enumerate the complete result set?
   bool complete() const { return termination == Termination::kComplete; }

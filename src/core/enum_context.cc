@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/fault.h"
+
 namespace mbe {
 
 namespace {
@@ -26,6 +28,13 @@ EnumContext::EnumContext(util::MemoryTracker* tracker, bool paranoid)
 
 EnumContext::~EnumContext() {
   if (held_bytes_ > 0) tracker_->Sub(held_bytes_);
+  ReleaseBudget(budget_charged_);
+}
+
+void EnumContext::ReleaseBudget(uint64_t freed) {
+  const uint64_t r = freed < budget_charged_ ? freed : budget_charged_;
+  if (r > 0) util::GlobalMemoryBudget().Release(r);
+  budget_charged_ -= r;
 }
 
 template <typename T>
@@ -59,6 +68,14 @@ void EnumContext::RewindPool(Pool<T>* pool, size_t to) {
       const uint64_t delta = now - before;
       held_bytes_ += delta;
       tracker_->Add(delta);
+      // "arena.grow" models this growth allocation failing: the budget
+      // latches exhaustion exactly as if the charge had been declined.
+      if (PMBE_FAULT("arena.grow")) {
+        util::GlobalMemoryBudget().ForceExhaust();
+      }
+      if (util::GlobalMemoryBudget().TryCharge(delta)) {
+        budget_charged_ += delta;
+      }
       pool->bytes[i] = now;
     }
   }
@@ -72,6 +89,7 @@ void EnumContext::RewindPool(Pool<T>* pool, size_t to) {
     pool->bytes.resize(to);
     held_bytes_ -= freed;
     if (freed > 0) tracker_->Sub(freed);
+    ReleaseBudget(freed);
   }
   pool->top = to;
 }
@@ -89,6 +107,7 @@ void EnumContext::TrimPool(Pool<T>* pool) {
   pool->bytes.clear();
   held_bytes_ -= freed;
   if (freed > 0) tracker_->Sub(freed);
+  ReleaseBudget(freed);
 }
 
 void EnumContext::Trim() {

@@ -121,6 +121,11 @@ class EnumContext {
   template <typename T>
   void TrimPool(Pool<T>* pool);
 
+  /// Returns up to `freed` bytes to the global MemoryBudget, bounded by
+  /// what this context successfully charged (declined charges are not
+  /// recorded, so releases stay balanced).
+  void ReleaseBudget(uint64_t freed);
+
   Pool<VertexId> ids_;
   Pool<uint64_t> words_;
 
@@ -128,6 +133,8 @@ class EnumContext {
   bool paranoid_;
   uint64_t held_bytes_ = 0;
   uint64_t peak_bytes_ = 0;
+  /// Bytes this context successfully charged to the global MemoryBudget.
+  uint64_t budget_charged_ = 0;
 };
 
 }  // namespace mbe

@@ -78,6 +78,19 @@ struct EnumStats {
   /// summed over workers, in nanoseconds. busy/(busy+idle) is the
   /// scheduler's load-balance figure of merit.
   uint64_t idle_ns = 0;
+  /// Faults fired by the injection framework during the run (0 unless the
+  /// build defines PMBE_FAULT_INJECTION and a point is armed).
+  uint64_t faults_injected = 0;
+  /// Times a consumer shed a memory-hungry acceleration because the
+  /// memory budget was under pressure (declined bitmap, skipped trie,
+  /// shrunken sink buffer, declined subtree split).
+  uint64_t degradations = 0;
+  /// High-water mark of bytes charged to the run's MemoryBudget. NOT
+  /// additive: merged via max (all workers charge one shared budget).
+  /// Provably <= Options::max_memory_bytes when a cap is set.
+  uint64_t peak_charged_bytes = 0;
+  /// Heartbeat sweeps performed by the worker watchdog monitor.
+  uint64_t watchdog_checks = 0;
 
   void MergeFrom(const EnumStats& other) {
     nodes_expanded += other.nodes_expanded;
@@ -106,6 +119,12 @@ struct EnumStats {
     sink_flushes += other.sink_flushes;
     busy_ns += other.busy_ns;
     idle_ns += other.idle_ns;
+    faults_injected += other.faults_injected;
+    degradations += other.degradations;
+    if (other.peak_charged_bytes > peak_charged_bytes) {
+      peak_charged_bytes = other.peak_charged_bytes;
+    }
+    watchdog_checks += other.watchdog_checks;
   }
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "util/fault.h"
+#include "util/memory.h"
+
 namespace mbe {
 
 MbetEnumerator::MbetEnumerator(const BipartiteGraph& graph,
@@ -388,11 +391,20 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
     uint32_t cand_groups = 0;
     for (const Group& g : lvl.groups) cand_groups += g.forbidden ? 0 : 1;
     if (cand_groups >= options_.trie_min_groups) {
-      lvl.lists.clear();
-      lvl.lists.reserve(lvl.groups.size());
-      for (const Group& g : lvl.groups) lvl.lists.push_back(lvl.LocOf(g));
-      lvl.trie.BuildUnordered(lvl.lists);
-      lvl.trie_built = true;
+      // "trie.build" models the trie arena failing to allocate.
+      if (PMBE_FAULT("trie.build")) util::GlobalMemoryBudget().ForceExhaust();
+      if (util::GlobalMemoryBudget().UnderPressure() ||
+          util::GlobalMemoryBudget().exhausted()) {
+        // Degrade: classification falls back to per-candidate scans —
+        // slower, identical results, no trie arena.
+        util::GlobalMemoryBudget().NoteDegradation();
+      } else {
+        lvl.lists.clear();
+        lvl.lists.reserve(lvl.groups.size());
+        for (const Group& g : lvl.groups) lvl.lists.push_back(lvl.LocOf(g));
+        lvl.trie.BuildUnordered(lvl.lists);
+        lvl.trie_built = true;
+      }
     }
   }
 
@@ -410,27 +422,36 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
     if (static_cast<double>(total_loc) >=
         options_.bitmap_density * static_cast<double>(local_universe_) *
             static_cast<double>(lvl.groups.size())) {
-      const size_t words = util::WordsFor(local_universe_);
-      lvl.loc_words = frame.AcquireWords();
-      lvl.lp_words = frame.AcquireWords();
-      lvl.loc_words->assign(words * lvl.groups.size(), 0);
-      lvl.lp_words->assign(words, 0);
-      for (size_t h = 0; h < lvl.groups.size(); ++h) {
-        util::SetBits(lvl.LocOf(lvl.groups[h]),
-                      std::span<uint64_t>(lvl.loc_words->data() + h * words,
-                                          words));
+      // "bitmap.build" models the word arrays failing to allocate.
+      if (PMBE_FAULT("bitmap.build")) util::GlobalMemoryBudget().ForceExhaust();
+      if (util::GlobalMemoryBudget().UnderPressure() ||
+          util::GlobalMemoryBudget().exhausted()) {
+        // Degrade: stay on sorted lists — slower kernels, same results.
+        util::GlobalMemoryBudget().NoteDegradation();
+      } else {
+        const size_t words = util::WordsFor(local_universe_);
+        lvl.loc_words = frame.AcquireWords();
+        lvl.lp_words = frame.AcquireWords();
+        lvl.loc_words->assign(words * lvl.groups.size(), 0);
+        lvl.lp_words->assign(words, 0);
+        for (size_t h = 0; h < lvl.groups.size(); ++h) {
+          util::SetBits(lvl.LocOf(lvl.groups[h]),
+                        std::span<uint64_t>(lvl.loc_words->data() + h * words,
+                                            words));
+        }
+        lvl.words_per_group = words;
+        lvl.words_built = true;
+        stats_.bitmap_conversions += lvl.groups.size();
       }
-      lvl.words_per_group = words;
-      lvl.words_built = true;
-      stats_.bitmap_conversions += lvl.groups.size();
     }
   }
 
-  uint64_t bytes = 0;
-  if (options_.memory != nullptr) {
-    bytes = LevelBytes(lvl);
-    options_.memory->Add(bytes);
-  }
+  // Charge this node's level state (groups, locals, trie) to both the
+  // tracker and the hard memory budget for the duration of its subtree.
+  // RAII: an exception unwinding through the subtree (throwing sink,
+  // injected fault) must return the charge too.
+  const util::ScopedCharge node_charge(util::GlobalMemoryBudget(),
+                                       options_.memory, LevelBytes(lvl));
 
   // Candidate traversal order: ascending local size (small locals first is
   // the classic choice: their subtrees are shallow and they turn into
@@ -530,7 +551,6 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
     g.forbidden = true;
   }
 
-  if (options_.memory != nullptr) options_.memory->Sub(bytes);
 }
 
 }  // namespace mbe

@@ -16,6 +16,10 @@ const char* TerminationName(Termination termination) {
       return "deadline";
     case Termination::kBudget:
       return "budget";
+    case Termination::kMemoryLimit:
+      return "memory-limit";
+    case Termination::kInternal:
+      return "internal";
   }
   return "?";
 }
@@ -32,6 +36,19 @@ void RunController::RequestStop(Termination reason) {
                                     std::memory_order_acq_rel)) {
     reason_.store(static_cast<int>(reason), std::memory_order_relaxed);
   }
+}
+
+void RunController::ReportInternal(const std::string& message) {
+  {
+    std::lock_guard<std::mutex> lock(message_mu_);
+    if (message_.empty()) message_ = message;
+  }
+  RequestStop(Termination::kInternal);
+}
+
+std::string RunController::message() const {
+  std::lock_guard<std::mutex> lock(message_mu_);
+  return message_;
 }
 
 uint32_t RunController::RegisterWorker() {
@@ -60,7 +77,14 @@ bool RunController::AdmitEmit() {
 }
 
 bool RunController::Checkpoint(uint32_t slot, const EnumStats& stats) {
-  // Cancellation token first: it is the caller's most urgent signal.
+  // Memory exhaustion is latched by whichever allocation site tripped the
+  // budget; every worker converts it here into a cooperative stop.
+  if (budget_ != nullptr && budget_->exhausted()) {
+    RequestStop(Termination::kMemoryLimit);
+    return true;
+  }
+
+  // Cancellation token next: it is the caller's most urgent signal.
   if (spec_.cancel != nullptr &&
       spec_.cancel->load(std::memory_order_relaxed)) {
     RequestStop(Termination::kCancelled);

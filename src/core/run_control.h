@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/enum_stats.h"
 #include "core/sink.h"
+#include "util/memory.h"
 #include "util/timer.h"
 
 /// \file
@@ -50,9 +52,15 @@ enum class Termination {
   kCancelled,     ///< the caller's cancellation token was set
   kDeadline,      ///< the wall-clock deadline expired
   kBudget,        ///< a result or node budget was exhausted
+  kMemoryLimit,   ///< the hard memory budget was exhausted (or an injected
+                  ///< allocation fault forced it); the sink holds the
+                  ///< valid prefix emitted before the stop
+  kInternal,      ///< a component failed (throwing sink, stalled worker,
+                  ///< injected fault); RunResult::message says what
 };
 
-/// Stable display name ("complete", "cancelled", "deadline", "budget").
+/// Stable display name ("complete", "cancelled", "deadline", "budget",
+/// "memory-limit", "internal").
 const char* TerminationName(Termination termination);
 
 /// Snapshot handed to the progress callback.
@@ -118,6 +126,18 @@ class RunController {
   /// (other workers noticing a different limit) are ignored.
   void RequestStop(Termination reason);
 
+  /// Attaches the run's memory budget (nullptr detaches). Checkpoints poll
+  /// its exhausted latch and convert it into Termination::kMemoryLimit.
+  void AttachMemoryBudget(util::MemoryBudget* budget) { budget_ = budget; }
+
+  /// Records a component failure (throwing sink, stalled worker, injected
+  /// fault) and stops the run with Termination::kInternal. The first
+  /// message wins; it surfaces as RunResult::message.
+  void ReportInternal(const std::string& message);
+
+  /// The first ReportInternal message, or empty.
+  std::string message() const;
+
   /// Registers a polling worker and returns its stats slot. Each
   /// RunPoller registers once, lazily, on its first checkpoint.
   uint32_t RegisterWorker();
@@ -156,9 +176,14 @@ class RunController {
  private:
   const RunControl spec_;
   util::WallTimer timer_;
+  util::MemoryBudget* budget_ = nullptr;
   std::atomic<bool> stop_{false};
   std::atomic<int> reason_{static_cast<int>(Termination::kComplete)};
   std::atomic<uint64_t> results_{0};
+
+  /// Guards message_ (written once by the first ReportInternal).
+  mutable std::mutex message_mu_;
+  std::string message_;
 
   /// Guards slots_, nodes_total_, and next_progress_s_ (checkpoint path
   /// only — amortized to one lock per polling stride per worker).

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/fault.h"
+#include "util/memory.h"
+
 namespace mbe {
 
 std::string ToString(const Biclique& b) {
@@ -70,15 +73,39 @@ BudgetSink::BudgetSink(ResultSink* inner, uint64_t max_results,
   PMBE_CHECK(inner != nullptr);
 }
 
+bool BudgetSink::AdmitOne() {
+  const uint64_t n = emitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (max_results_ > 0 && n > max_results_) {
+    emitted_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
 void BudgetSink::Emit(std::span<const VertexId> left,
                       std::span<const VertexId> right) {
+  if (!AdmitOne()) return;
   inner_->Emit(left, right);
-  emitted_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void BudgetSink::EmitBatch(const BicliqueBatch& batch) {
-  inner_->EmitBatch(batch);
-  emitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+  if (max_results_ == 0) {
+    // Unlimited: keep the whole-batch fast path.
+    inner_->EmitBatch(batch);
+    emitted_.fetch_add(batch.size(), std::memory_order_relaxed);
+    return;
+  }
+  // Admit per entry so a batch straddling the bound delivers exactly the
+  // admitted prefix instead of over-emitting past max_results.
+  size_t admitted = 0;
+  while (admitted < batch.size() && AdmitOne()) ++admitted;
+  if (admitted == batch.size()) {
+    inner_->EmitBatch(batch);
+    return;
+  }
+  for (size_t i = 0; i < admitted; ++i) {
+    inner_->Emit(batch.left(i), batch.right(i));
+  }
 }
 
 bool BudgetSink::ShouldStop() const {
@@ -113,17 +140,63 @@ BufferedSink::BufferedSink(ResultSink* inner, size_t max_results,
   PMBE_CHECK(inner != nullptr);
 }
 
-BufferedSink::~BufferedSink() { Flush(); }
+BufferedSink::~BufferedSink() {
+  try {
+    Flush();
+  } catch (...) {
+    // The inner sink failed during the final drain; the batch was already
+    // dropped by the quarantine and an exception must not leave a
+    // destructor. Drain paths that need to observe the failure call
+    // Flush() explicitly before destruction.
+  }
+  if (budget_charged_ > 0) util::GlobalMemoryBudget().Release(budget_charged_);
+}
 
 void BufferedSink::Emit(std::span<const VertexId> left,
                         std::span<const VertexId> right) {
+  if (poisoned_) return;
   batch_.Append(left, right);
-  if (batch_.size() >= max_results_ || batch_.bytes() >= max_bytes_) Flush();
+  const uint64_t cap = batch_.capacity_bytes();
+  if (cap > capacity_bytes_) {
+    const uint64_t delta = cap - capacity_bytes_;
+    // "sink.buffer" models this arena growth failing to allocate.
+    if (PMBE_FAULT("sink.buffer")) util::GlobalMemoryBudget().ForceExhaust();
+    if (util::GlobalMemoryBudget().TryCharge(delta)) budget_charged_ += delta;
+    capacity_bytes_ = cap;
+  }
+  size_t flush_results = max_results_;
+  size_t flush_bytes = max_bytes_;
+  if (util::GlobalMemoryBudget().UnderPressure()) {
+    // Degrade: flush at a quarter of the thresholds so buffered bytes
+    // shrink under pressure. More synchronization, same results.
+    flush_results = std::max<size_t>(1, max_results_ / 4);
+    flush_bytes = std::max<size_t>(1, max_bytes_ / 4);
+    if (!degraded_) {
+      degraded_ = true;
+      util::GlobalMemoryBudget().NoteDegradation();
+    }
+  }
+  if (batch_.size() >= flush_results || batch_.bytes() >= flush_bytes) Flush();
 }
 
 void BufferedSink::Flush() {
-  if (batch_.empty()) return;
-  inner_->EmitBatch(batch_);
+  if (poisoned_ || batch_.empty()) return;
+  // "sink.flush" models the downstream consumer failing.
+  if (PMBE_FAULT("sink.flush")) {
+    poisoned_ = true;
+    batch_.clear();
+    throw util::FaultError("injected fault: sink.flush");
+  }
+  try {
+    inner_->EmitBatch(batch_);
+  } catch (...) {
+    // Quarantine: drop the in-flight batch (the delivered prefix stays a
+    // valid prefix), refuse further work, and let the worker's containment
+    // turn the exception into Termination::kInternal.
+    poisoned_ = true;
+    batch_.clear();
+    throw;
+  }
   batch_.clear();
   ++flushes_;
 }

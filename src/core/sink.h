@@ -50,6 +50,12 @@ class BicliqueBatch {
   size_t bytes() const {
     return ids_.size() * sizeof(VertexId) + entries_.size() * sizeof(Entry);
   }
+  /// Arena bytes reserved (capacity; the memory-budget charging input —
+  /// clear() keeps capacity, so this is what the batch really holds).
+  size_t capacity_bytes() const {
+    return ids_.capacity() * sizeof(VertexId) +
+           entries_.capacity() * sizeof(Entry);
+  }
   void clear() {
     ids_.clear();
     entries_.clear();
@@ -248,6 +254,12 @@ class BudgetSink : public ResultSink {
   uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
 
  private:
+  /// Reserves one emission against `max_results_`; false (with the
+  /// reservation rolled back) once the budget is exhausted. Keeps
+  /// `emitted() <= max_results` exact even when racing batch deliveries
+  /// straddle the bound mid-batch.
+  bool AdmitOne();
+
   ResultSink* inner_;
   uint64_t max_results_;
   double deadline_seconds_;
@@ -270,11 +282,24 @@ class BudgetSink : public ResultSink {
 /// run's results are read; the driver flushes on drain, including when a
 /// run is cancelled — buffered bicliques are genuine maximal bicliques, so
 /// flushing them preserves the valid-prefix guarantee of interrupted runs.
+///
+/// Robustness (docs/ROBUSTNESS.md):
+///  * batch-arena growth is charged to the global MemoryBudget, and under
+///    memory pressure the sink flushes at a quarter of its thresholds so
+///    buffered bytes shrink instead of grow;
+///  * a throwing inner sink *quarantines* this sink: the in-flight batch
+///    is dropped (the already-delivered prefix stays valid — a prefix of
+///    a prefix), further emissions become no-ops, and the exception
+///    propagates so the worker's containment can convert it into
+///    Termination::kInternal. Quarantine keeps a failing consumer from
+///    being hammered with retries mid-drain.
 class BufferedSink : public ResultSink {
  public:
   explicit BufferedSink(ResultSink* inner, size_t max_results = 64,
                         size_t max_bytes = 1 << 16);
-  /// Flushes any remaining buffered emissions.
+  /// Flushes any remaining buffered emissions (swallowing a throwing
+  /// inner sink — destructors must not throw; drain paths call Flush()
+  /// directly to observe the failure).
   ~BufferedSink() override;
 
   BufferedSink(const BufferedSink&) = delete;
@@ -287,13 +312,16 @@ class BufferedSink : public ResultSink {
   /// wait for a flush threshold).
   bool ShouldStop() const override { return inner_->ShouldStop(); }
 
-  /// Delivers all buffered emissions to the inner sink now.
+  /// Delivers all buffered emissions to the inner sink now. Propagates an
+  /// inner-sink exception after quarantining (see class comment).
   void Flush();
 
   /// Completed flush rounds (empty flushes don't count).
   uint64_t flushes() const { return flushes_; }
   /// Bicliques currently buffered (test/introspection hook).
   size_t buffered() const { return batch_.size(); }
+  /// True once an inner-sink failure quarantined this sink.
+  bool poisoned() const { return poisoned_; }
 
  private:
   ResultSink* inner_;
@@ -301,6 +329,12 @@ class BufferedSink : public ResultSink {
   size_t max_bytes_;
   BicliqueBatch batch_;
   uint64_t flushes_ = 0;
+  bool poisoned_ = false;
+  /// Pressure degradation noted once per sink (EnumStats::degradations).
+  bool degraded_ = false;
+  /// Last observed batch capacity / bytes of it charged to the budget.
+  uint64_t capacity_bytes_ = 0;
+  uint64_t budget_charged_ = 0;
 };
 
 }  // namespace mbe

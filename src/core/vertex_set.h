@@ -7,6 +7,7 @@
 
 #include "util/bitset.h"
 #include "util/common.h"
+#include "util/memory.h"
 
 /// \file
 /// The adaptive set-representation layer (docs/SET_REPRESENTATION.md).
@@ -40,6 +41,13 @@ struct VertexSetPolicy {
 
   bool PickBitmap(size_t size, size_t universe) const {
     if (universe == 0) return false;
+    // Under memory pressure the dense representation is declined outright:
+    // sorted lists hold `size` ids while a bitmap holds the whole universe
+    // (docs/ROBUSTNESS.md). Slower kernels, identical results.
+    if (util::GlobalMemoryBudget().UnderPressure()) {
+      util::GlobalMemoryBudget().NoteDegradation();
+      return false;
+    }
     if (bitmap_density <= 0.0) return true;
     return static_cast<double>(size) >=
            bitmap_density * static_cast<double>(universe);

@@ -1,50 +1,89 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
-#include <fstream>
+#include <limits>
+#include <numeric>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <fstream>
+
+#include "util/fault.h"
 
 namespace mbe {
 
 namespace {
 
+enum class UintParse { kNone, kOk, kOverflow };
+
 // Parses one whitespace-separated unsigned integer starting at `pos` in
-// `line`. Returns false when no integer is found.
-bool ParseUint(const std::string& line, size_t* pos, uint64_t* out) {
+// `line`. kNone when no integer starts there; kOverflow when the digits
+// exceed 64 bits (the digit run is still consumed, so the caller reports
+// the right position).
+UintParse ParseUint(const std::string& line, size_t* pos, uint64_t* out) {
   size_t i = *pos;
   while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
   if (i >= line.size() || !std::isdigit(static_cast<unsigned char>(line[i]))) {
-    return false;
+    return UintParse::kNone;
   }
   uint64_t value = 0;
+  bool overflow = false;
   while (i < line.size() && std::isdigit(static_cast<unsigned char>(line[i]))) {
-    value = value * 10 + static_cast<uint64_t>(line[i] - '0');
+    const uint64_t digit = static_cast<uint64_t>(line[i] - '0');
+    if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      overflow = true;  // keep consuming the digit run
+    } else {
+      value = value * 10 + digit;
+    }
     ++i;
   }
   *pos = i;
   *out = value;
-  return true;
+  return overflow ? UintParse::kOverflow : UintParse::kOk;
 }
 
 struct ParsedEdges {
   std::vector<Edge> edges;
+  /// Source line of each edge; filled only in strict mode (duplicate
+  /// reporting needs it).
+  std::vector<uint64_t> linenos;
   uint64_t max_u = 0;
   uint64_t max_v = 0;
+  /// Lines where max_u / max_v were last raised (header-consistency
+  /// diagnostics).
+  uint64_t max_u_lineno = 0;
+  uint64_t max_v_lineno = 0;
   bool any = false;
   // Optional "# pmbe L R" header.
   bool has_header = false;
+  uint64_t header_lineno = 0;
   uint64_t header_left = 0;
   uint64_t header_right = 0;
 };
 
-util::Status ParseLines(std::istream& in, bool one_based, ParsedEdges* out) {
+std::string AtLine(uint64_t lineno) {
+  return "line " + std::to_string(lineno);
+}
+
+/// `strict` (plain edge lists) rejects trailing garbage after `u v` and
+/// records per-edge line numbers for duplicate detection. KONECT rows stay
+/// lenient: they legitimately carry weight/timestamp columns and the
+/// format's multi-edges are documented to collapse.
+util::Status ParseLines(std::istream& in, bool one_based, bool strict,
+                        ParsedEdges* out) {
   std::string line;
-  size_t lineno = 0;
+  uint64_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
+    // "loader.line" models the read failing mid-file (truncated disk,
+    // failing device).
+    if (PMBE_FAULT("loader.line")) {
+      return util::Status::IoError(AtLine(lineno) +
+                                   ": injected fault: loader.line");
+    }
     if (line.empty()) continue;
     if (line[0] == '#' || line[0] == '%') {
       // Recognize the round-trip header "# pmbe L R".
@@ -53,7 +92,13 @@ util::Status ParseLines(std::istream& in, bool one_based, ParsedEdges* out) {
       if (hs >> tag && tag == "pmbe") {
         uint64_t l = 0, r = 0;
         if (hs >> l >> r) {
+          if (out->has_header) {
+            return util::Status::CorruptData(
+                AtLine(lineno) + ": duplicate '# pmbe' header (first at " +
+                AtLine(out->header_lineno) + ")");
+          }
           out->has_header = true;
+          out->header_lineno = lineno;
           out->header_left = l;
           out->header_right = r;
         }
@@ -62,40 +107,129 @@ util::Status ParseLines(std::istream& in, bool one_based, ParsedEdges* out) {
     }
     size_t pos = 0;
     uint64_t u = 0, v = 0;
-    if (!ParseUint(line, &pos, &u) || !ParseUint(line, &pos, &v)) {
-      return util::Status::CorruptData("line " + std::to_string(lineno) +
-                                       ": expected 'u v'");
+    const UintParse pu = ParseUint(line, &pos, &u);
+    const UintParse pv =
+        pu == UintParse::kNone ? UintParse::kNone : ParseUint(line, &pos, &v);
+    if (pu == UintParse::kNone || pv == UintParse::kNone) {
+      return util::Status::CorruptData(AtLine(lineno) + ": expected 'u v'");
+    }
+    if (pu == UintParse::kOverflow || pv == UintParse::kOverflow) {
+      return util::Status::OutOfRange(AtLine(lineno) +
+                                      ": vertex id overflows 64 bits");
+    }
+    if (strict) {
+      size_t rest = pos;
+      while (rest < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[rest]))) {
+        ++rest;
+      }
+      if (rest < line.size()) {
+        return util::Status::CorruptData(
+            AtLine(lineno) + ": trailing characters after 'u v': '" +
+            line.substr(rest) + "'");
+      }
     }
     if (one_based) {
       if (u == 0 || v == 0) {
-        return util::Status::CorruptData("line " + std::to_string(lineno) +
+        return util::Status::CorruptData(AtLine(lineno) +
                                          ": 1-based id is 0");
       }
       --u;
       --v;
     }
     if (u > 0xFFFFFFFEULL || v > 0xFFFFFFFEULL) {
-      return util::Status::OutOfRange("line " + std::to_string(lineno) +
+      return util::Status::OutOfRange(AtLine(lineno) +
                                       ": vertex id exceeds 32-bit range");
     }
     out->edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
-    out->max_u = std::max(out->max_u, u);
-    out->max_v = std::max(out->max_v, v);
+    if (strict) out->linenos.push_back(lineno);
+    if (!out->any || u > out->max_u) {
+      out->max_u = u;
+      out->max_u_lineno = lineno;
+    }
+    if (!out->any || v > out->max_v) {
+      out->max_v = v;
+      out->max_v_lineno = lineno;
+    }
     out->any = true;
   }
   return util::Status::Ok();
 }
 
+/// Strict-mode duplicate rejection: a plain edge list naming the same edge
+/// twice is almost always a generator or concatenation bug, and silently
+/// collapsing it would hide that the input is not the graph the caller
+/// thinks it is. Reports both source lines.
+util::Status CheckDuplicateEdges(const ParsedEdges& parsed) {
+  PMBE_CHECK(parsed.linenos.size() == parsed.edges.size());
+  std::vector<size_t> idx(parsed.edges.size());
+  std::iota(idx.begin(), idx.end(), size_t{0});
+  std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    const Edge& ea = parsed.edges[a];
+    const Edge& eb = parsed.edges[b];
+    if (ea.u != eb.u) return ea.u < eb.u;
+    if (ea.v != eb.v) return ea.v < eb.v;
+    return parsed.linenos[a] < parsed.linenos[b];
+  });
+  for (size_t i = 1; i < idx.size(); ++i) {
+    const Edge& prev = parsed.edges[idx[i - 1]];
+    const Edge& cur = parsed.edges[idx[i]];
+    if (prev.u == cur.u && prev.v == cur.v) {
+      return util::Status::CorruptData(
+          AtLine(parsed.linenos[idx[i]]) + ": duplicate edge " +
+          std::to_string(cur.u) + " " + std::to_string(cur.v) +
+          " (first at " + AtLine(parsed.linenos[idx[i - 1]]) + ")");
+    }
+  }
+  return util::Status::Ok();
+}
+
+/// Memory-amplification guard: the CSR allocates O(num_left + num_right),
+/// so a few bytes of input declaring a huge cardinality (a header like
+/// `# pmbe 999999999 2`, or one edge naming vertex 99999999) would commit
+/// gigabytes before any validation could object. Cap the vertex count at a
+/// multiple of the edge count (plus slack so small files are never
+/// affected); any real dataset has degree >= 1 on all but a sliver of its
+/// vertices and passes with room to spare.
+constexpr uint64_t kIsolatedSlack = 65536;
+
 util::StatusOr<BipartiteGraph> BuildFromParsed(ParsedEdges parsed) {
   size_t num_left = parsed.any ? parsed.max_u + 1 : 0;
   size_t num_right = parsed.any ? parsed.max_v + 1 : 0;
   if (parsed.has_header) {
-    if (parsed.header_left < num_left || parsed.header_right < num_right) {
+    if (parsed.header_left > 0xFFFFFFFFULL ||
+        parsed.header_right > 0xFFFFFFFFULL) {
+      return util::Status::OutOfRange(
+          "header at " + AtLine(parsed.header_lineno) +
+          ": cardinality exceeds 32-bit range");
+    }
+    if (parsed.header_left < num_left) {
       return util::Status::CorruptData(
-          "header cardinalities smaller than max edge id");
+          "header at " + AtLine(parsed.header_lineno) + " declares " +
+          std::to_string(parsed.header_left) + " left vertices but " +
+          AtLine(parsed.max_u_lineno) + " has left id " +
+          std::to_string(parsed.max_u));
+    }
+    if (parsed.header_right < num_right) {
+      return util::Status::CorruptData(
+          "header at " + AtLine(parsed.header_lineno) + " declares " +
+          std::to_string(parsed.header_right) + " right vertices but " +
+          AtLine(parsed.max_v_lineno) + " has right id " +
+          std::to_string(parsed.max_v));
     }
     num_left = parsed.header_left;
     num_right = parsed.header_right;
+  }
+  const uint64_t total = static_cast<uint64_t>(num_left) + num_right;
+  if (total > 2 * static_cast<uint64_t>(parsed.edges.size()) + kIsolatedSlack) {
+    const uint64_t lineno = parsed.has_header
+                                ? parsed.header_lineno
+                                : std::max(parsed.max_u_lineno,
+                                           parsed.max_v_lineno);
+    return util::Status::OutOfRange(
+        AtLine(lineno) + ": declares " + std::to_string(total) +
+        " vertices with only " + std::to_string(parsed.edges.size()) +
+        " edges (memory-amplification guard)");
   }
   // Checked construction: file contents are untrusted, so an inconsistent
   // edge list must surface as a Status, not a process abort.
@@ -109,7 +243,9 @@ util::StatusOr<BipartiteGraph> LoadEdgeList(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open " + path);
   ParsedEdges parsed;
-  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/false, &parsed));
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/false, /*strict=*/true,
+                                  &parsed));
+  PMBE_RETURN_IF_ERROR(CheckDuplicateEdges(parsed));
   return BuildFromParsed(std::move(parsed));
 }
 
@@ -117,14 +253,25 @@ util::StatusOr<BipartiteGraph> LoadKonect(const std::string& path) {
   std::ifstream in(path);
   if (!in) return util::Status::NotFound("cannot open " + path);
   ParsedEdges parsed;
-  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/true, &parsed));
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/true, /*strict=*/false,
+                                  &parsed));
   return BuildFromParsed(std::move(parsed));
 }
 
 util::StatusOr<BipartiteGraph> ParseEdgeListText(const std::string& text) {
   std::istringstream in(text);
   ParsedEdges parsed;
-  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/false, &parsed));
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/false, /*strict=*/true,
+                                  &parsed));
+  PMBE_RETURN_IF_ERROR(CheckDuplicateEdges(parsed));
+  return BuildFromParsed(std::move(parsed));
+}
+
+util::StatusOr<BipartiteGraph> ParseKonectText(const std::string& text) {
+  std::istringstream in(text);
+  ParsedEdges parsed;
+  PMBE_RETURN_IF_ERROR(ParseLines(in, /*one_based=*/true, /*strict=*/false,
+                                  &parsed));
   return BuildFromParsed(std::move(parsed));
 }
 

@@ -14,12 +14,23 @@
 ///  1. **Plain edge list** (`.txt`): lines of `u v`, whitespace separated,
 ///     `#` or `%` comment lines ignored. Vertex ids are 0-based; the side
 ///     cardinalities are `max id + 1` unless a header line
-///     `# pmbe <num_left> <num_right>` is present.
+///     `# pmbe <num_left> <num_right>` is present. The plain loader is
+///     *strict*: overflowing ids, trailing characters after `u v`,
+///     duplicate edges, a repeated `# pmbe` header, or header
+///     cardinalities inconsistent with the edges are all rejected with a
+///     CorruptData/OutOfRange status that names the offending line(s).
 ///  2. **KONECT-style** (`out.*`): the first line is
 ///     `% bip unweighted ...` (ignored apart from the leading `%`), and
 ///     edges are 1-based `u v [weight [timestamp]]`; weights/timestamps are
 ///     ignored and multi-edges collapsed, matching how the MBE literature
-///     preprocesses KONECT datasets.
+///     preprocesses KONECT datasets. KONECT parsing is deliberately
+///     lenient about extra columns and multi-edges, but still rejects
+///     malformed and overflowing ids with line numbers.
+///
+/// Both loaders additionally refuse inputs whose (declared or inferred)
+/// vertex count exceeds `2 * edges + 65536` — a memory-amplification guard
+/// keeping loader allocation linear in the input size; see
+/// docs/ROBUSTNESS.md.
 
 namespace mbe {
 
@@ -34,9 +45,13 @@ util::StatusOr<BipartiteGraph> LoadKonect(const std::string& path);
 util::Status SaveEdgeList(const BipartiteGraph& graph,
                           const std::string& path);
 
-/// Parses edge-list text from a string (same format as LoadEdgeList);
-/// useful in tests.
+/// Parses edge-list text from a string (same format and strictness as
+/// LoadEdgeList); useful in tests.
 util::StatusOr<BipartiteGraph> ParseEdgeListText(const std::string& text);
+
+/// Parses KONECT-style text from a string (same format and leniency as
+/// LoadKonect); useful in tests and the fuzz harness.
+util::StatusOr<BipartiteGraph> ParseKonectText(const std::string& text);
 
 }  // namespace mbe
 

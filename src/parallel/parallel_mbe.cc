@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <mutex>
 #include <numeric>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "util/common.h"
+#include "util/fault.h"
+#include "util/memory.h"
 #include "util/random.h"
 
 namespace mbe {
@@ -19,6 +24,32 @@ uint64_t NowNs() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
+
+/// First-failure containment shared by the drivers. An exception escaping
+/// a worker task or a sink flush lands here: with a controller it becomes
+/// Termination::kInternal (message preserved, fleet drains cooperatively);
+/// without one the first exception is rethrown to the caller after the
+/// join, so it is never swallowed and never crosses a thread boundary raw.
+struct FailureLatch {
+  RunController* controller;
+  std::atomic<bool> failed{false};
+  std::mutex mu;
+  std::exception_ptr first;
+
+  /// Call only from inside a catch block.
+  void Record(const std::string& what) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!first) first = std::current_exception();
+    }
+    failed.store(true, std::memory_order_release);
+    if (controller != nullptr) controller->ReportInternal(what);
+  }
+
+  void MaybeRethrow() {
+    if (controller == nullptr && first) std::rethrow_exception(first);
+  }
+};
 
 /// Per-worker state of the stealing scheduler. The deque is shared (thieves
 /// touch it); everything else is owner-private until the final join.
@@ -71,49 +102,94 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
   // they would otherwise run whole.
   std::atomic<unsigned> idle_workers{0};
 
+  FailureLatch failure{controller};
+
+  // Watchdog heartbeats: ns timestamp of each worker's last sign of life
+  // (task pickup or steal-loop round). 0 = not started yet,
+  // kHeartbeatDone = exited cleanly. Workers only stamp; the monitor only
+  // reads.
+  constexpr uint64_t kHeartbeatDone = ~uint64_t{0};
+  std::vector<std::atomic<uint64_t>> heartbeats(workers);
+  std::atomic<uint64_t> watchdog_checks{0};
+
   std::vector<std::unique_ptr<SubtreeWorker>> engines(workers);
   std::vector<std::unique_ptr<BufferedSink>> buffers(workers);
 
   auto worker_main = [&](unsigned w) {
-    engines[w] = factory();
-    buffers[w] = std::make_unique<BufferedSink>(
-        sink, options.sink_buffer_results, options.sink_buffer_bytes);
+    heartbeats[w].store(NowNs(), std::memory_order_relaxed);
+    try {
+      engines[w] = factory();
+      buffers[w] = std::make_unique<BufferedSink>(
+          sink, options.sink_buffer_results, options.sink_buffer_bytes);
+    } catch (const std::exception& e) {
+      failure.Record(e.what());
+    } catch (...) {
+      failure.Record("unknown exception constructing worker");
+    }
+    if (engines[w] == nullptr || buffers[w] == nullptr) {
+      heartbeats[w].store(kHeartbeatDone, std::memory_order_relaxed);
+      return;
+    }
     SubtreeWorker* engine = engines[w].get();
     BufferedSink* buffered = buffers[w].get();
     StealWorkerState& st = states[w];
     util::Rng rng(0x5eedULL * (w + 1) + 0x9e3779b97f4a7c15ULL);
 
     auto stopped = [&]() {
-      return controller != nullptr && controller->stop_requested();
+      return (controller != nullptr && controller->stop_requested()) ||
+             failure.failed.load(std::memory_order_acquire);
     };
 
     auto run_task = [&](uint64_t word) {
       StealTask task = DecodeTask(word);
+      heartbeats[w].store(NowNs(), std::memory_order_relaxed);
       if (!stopped()) {
-        if (task.num_shards == 1 && max_split > 1) {
-          // Split at pickup: unconditionally above the configured work
-          // bar, and at a quarter of it while any thief is starving.
-          const uint64_t bar =
-              idle_workers.load(std::memory_order_relaxed) > 0
-                  ? std::max<uint64_t>(1, options.split_min_work / 4)
-                  : options.split_min_work;
-          const uint32_t k = engine->SplitHint(task.v, max_split, bar);
-          if (k > 1) {
-            PMBE_DCHECK(k <= max_split);
-            for (uint32_t s = k; s-- > 1;) {
-              // Push high shards first so the owner resumes on shard 1
-              // and thieves take the later shards.
-              st.deque.Push(
-                  EncodeTask({.v = task.v, .shard = s, .num_shards = k}));
-            }
-            remaining.fetch_add(k - 1, std::memory_order_relaxed);
-            ++st.split_tasks;
-            task.num_shards = k;
+        try {
+          // "worker.task" models a worker failing at pickup;
+          // "worker.stall" pauses long enough for an armed watchdog (any
+          // stall bound below ~200ms) to notice a transient hang.
+          if (PMBE_FAULT("worker.task")) {
+            throw util::FaultError("injected fault: worker.task");
           }
+          if (PMBE_FAULT("worker.stall")) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(200));
+          }
+          if (task.num_shards == 1 && max_split > 1) {
+            if (util::GlobalMemoryBudget().UnderPressure()) {
+              // Degrade: decline the split — every shard re-pays the
+              // subtree's root build, multiplying live state.
+              util::GlobalMemoryBudget().NoteDegradation();
+            } else {
+              // Split at pickup: unconditionally above the configured work
+              // bar, and at a quarter of it while any thief is starving.
+              const uint64_t bar =
+                  idle_workers.load(std::memory_order_relaxed) > 0
+                      ? std::max<uint64_t>(1, options.split_min_work / 4)
+                      : options.split_min_work;
+              const uint32_t k = engine->SplitHint(task.v, max_split, bar);
+              if (k > 1) {
+                PMBE_DCHECK(k <= max_split);
+                for (uint32_t s = k; s-- > 1;) {
+                  // Push high shards first so the owner resumes on shard 1
+                  // and thieves take the later shards.
+                  st.deque.Push(
+                      EncodeTask({.v = task.v, .shard = s, .num_shards = k}));
+                }
+                remaining.fetch_add(k - 1, std::memory_order_relaxed);
+                ++st.split_tasks;
+                task.num_shards = k;
+              }
+            }
+          }
+          const uint64_t t0 = NowNs();
+          engine->EnumerateShard(task.v, task.shard, task.num_shards,
+                                 buffered);
+          st.busy_ns += NowNs() - t0;
+        } catch (const std::exception& e) {
+          failure.Record(e.what());
+        } catch (...) {
+          failure.Record("unknown exception in worker task");
         }
-        const uint64_t t0 = NowNs();
-        engine->EnumerateShard(task.v, task.shard, task.num_shards, buffered);
-        st.busy_ns += NowNs() - t0;
       }
       // Count down even when the stop flag skipped the enumeration: the
       // drain invariant is "every seeded or split task is retired once".
@@ -136,6 +212,7 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
       unsigned failed_sweeps = 0;
       while (!stopped() &&
              remaining.load(std::memory_order_acquire) > 0) {
+        heartbeats[w].store(NowNs(), std::memory_order_relaxed);
         bool stole = false;
         for (unsigned attempt = 0; attempt < workers && !stole; ++attempt) {
           const unsigned victim =
@@ -163,9 +240,48 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
 
     // Flush the worker's buffer before the join: buffered bicliques are
     // genuine maximal bicliques and are delivered even on cancellation
-    // (the valid-prefix contract of run control).
-    buffered->Flush();
+    // (the valid-prefix contract of run control). A sink failing here is
+    // contained like one failing mid-run: the already-delivered results
+    // stay a valid prefix.
+    try {
+      buffered->Flush();
+    } catch (const std::exception& e) {
+      failure.Record(e.what());
+    } catch (...) {
+      failure.Record("unknown exception flushing worker sink");
+    }
+    heartbeats[w].store(kHeartbeatDone, std::memory_order_relaxed);
   };
+
+  // Watchdog monitor: sweeps the heartbeats and converts a silent worker
+  // into a typed internal failure instead of an indistinguishable hang.
+  // Needs a controller to report to.
+  std::thread watchdog;
+  std::atomic<bool> watchdog_stop{false};
+  if (options.watchdog_stall_seconds > 0 && controller != nullptr) {
+    const uint64_t stall_ns =
+        static_cast<uint64_t>(options.watchdog_stall_seconds * 1e9);
+    const auto sweep_every = std::chrono::nanoseconds(
+        std::min<uint64_t>(stall_ns / 4 + 1, 100000000ULL));
+    watchdog = std::thread([&, stall_ns, sweep_every] {
+      while (!watchdog_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(sweep_every);
+        watchdog_checks.fetch_add(1, std::memory_order_relaxed);
+        const uint64_t now = NowNs();
+        for (unsigned w = 0; w < workers; ++w) {
+          const uint64_t beat = heartbeats[w].load(std::memory_order_relaxed);
+          if (beat == 0 || beat == kHeartbeatDone) continue;
+          if (now > beat && now - beat > stall_ns) {
+            controller->ReportInternal(
+                "watchdog: worker " + std::to_string(w) +
+                " missed its heartbeat for over " +
+                std::to_string(options.watchdog_stall_seconds) + "s");
+            return;  // one report stops the run; the fleet drains
+          }
+        }
+      }
+    });
+  }
 
   if (workers == 1) {
     worker_main(0);
@@ -176,6 +292,12 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
     for (std::thread& t : pool) t.join();
   }
 
+  if (watchdog.joinable()) {
+    watchdog_stop.store(true, std::memory_order_release);
+    watchdog.join();
+  }
+  failure.MaybeRethrow();
+
   EnumStats merged;
   for (unsigned w = 0; w < workers; ++w) {
     if (engines[w]) merged.MergeFrom(engines[w]->stats());
@@ -185,6 +307,7 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
     merged.busy_ns += states[w].busy_ns;
     merged.idle_ns += states[w].idle_ns;
   }
+  merged.watchdog_checks = watchdog_checks.load(std::memory_order_relaxed);
   return merged;
 }
 
@@ -202,35 +325,53 @@ EnumStats RunThreadPool(const BipartiteGraph& graph,
   // orders those accesses, so no lock is needed.
   std::vector<std::unique_ptr<SubtreeWorker>> engines(workers);
   std::vector<std::unique_ptr<BufferedSink>> buffers(workers);
+  FailureLatch failure{options.controller};
 
   pool.ParallelFor(
       graph.num_right(), options.scheduling,
       [&](uint64_t v, unsigned worker_id) {
         // Drain the remaining index space without enumerating once any
-        // worker trips the shared stop flag.
-        if (options.controller != nullptr &&
-            options.controller->stop_requested()) {
+        // worker trips the shared stop flag or fails.
+        if ((options.controller != nullptr &&
+             options.controller->stop_requested()) ||
+            failure.failed.load(std::memory_order_acquire)) {
           return;
         }
-        SubtreeWorker* engine = engines[worker_id].get();
-        if (engine == nullptr) {
-          engines[worker_id] = factory();
-          buffers[worker_id] = std::make_unique<BufferedSink>(
-              sink, options.sink_buffer_results, options.sink_buffer_bytes);
-          engine = engines[worker_id].get();
+        try {
+          if (PMBE_FAULT("worker.task")) {
+            throw util::FaultError("injected fault: worker.task");
+          }
+          SubtreeWorker* engine = engines[worker_id].get();
+          if (engine == nullptr) {
+            engines[worker_id] = factory();
+            buffers[worker_id] = std::make_unique<BufferedSink>(
+                sink, options.sink_buffer_results, options.sink_buffer_bytes);
+            engine = engines[worker_id].get();
+          }
+          engine->EnumerateSubtree(static_cast<VertexId>(v),
+                                   buffers[worker_id].get());
+        } catch (const std::exception& e) {
+          failure.Record(e.what());
+        } catch (...) {
+          failure.Record("unknown exception in worker task");
         }
-        engine->EnumerateSubtree(static_cast<VertexId>(v),
-                                 buffers[worker_id].get());
       });
 
   EnumStats merged;
   for (unsigned w = 0; w < workers; ++w) {
     if (buffers[w]) {
-      buffers[w]->Flush();
+      try {
+        buffers[w]->Flush();
+      } catch (const std::exception& e) {
+        failure.Record(e.what());
+      } catch (...) {
+        failure.Record("unknown exception flushing worker sink");
+      }
       merged.sink_flushes += buffers[w]->flushes();
     }
     if (engines[w]) merged.MergeFrom(engines[w]->stats());
   }
+  failure.MaybeRethrow();
   return merged;
 }
 

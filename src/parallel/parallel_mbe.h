@@ -104,6 +104,15 @@ struct ParallelOptions {
   /// trips first.
   size_t sink_buffer_results = 64;
   size_t sink_buffer_bytes = 1 << 16;
+
+  /// Worker watchdog (kStealing only; needs a controller to report to).
+  /// When > 0, a monitor thread sweeps per-worker heartbeats — stamped at
+  /// every task pickup and steal-loop round — and a worker silent for this
+  /// many seconds stops the run with Termination::kInternal. The bound is
+  /// therefore on the *longest single task*, so it is opt-in (0 = off): a
+  /// legitimately giant subtree between heartbeats is indistinguishable
+  /// from a stuck one. See docs/ROBUSTNESS.md.
+  double watchdog_stall_seconds = 0;
 };
 
 /// Runs the full enumeration of `graph` with `factory`-produced workers.

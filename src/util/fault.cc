@@ -1,0 +1,144 @@
+#include "util/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbe::util {
+
+namespace {
+
+bool IsKnownPoint(const std::string& name) {
+  for (const char* p : kFaultPoints) {
+    if (name == p) return true;
+  }
+  return false;
+}
+
+// splitmix64: deterministic per-hit randomness for probability mode.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+FaultRegistry::FaultRegistry() {
+  // Environment arming: any binary (tools, tests, benches) can run under a
+  // fault schedule without code changes. Errors are fatal — a typo'd spec
+  // silently running faultless would defeat the test.
+  const char* spec = std::getenv("PMBE_FAULT_INJECT");
+  if (spec != nullptr && spec[0] != '\0') {
+    const Status status = ArmSpec(spec);
+    if (!status.ok()) {
+      std::fprintf(stderr, "PMBE_FAULT_INJECT: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+}
+
+bool FaultRegistry::Check(const char* point) {
+  if (!armed()) return false;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& st = points_[point];
+    ++st.hits;
+    if (st.countdown > 0 && --st.countdown == 0) fire = true;
+    if (!fire && probability_ > 0) {
+      const uint64_t r = Mix(prob_seed_ ^ Mix(prob_counter_++));
+      fire = static_cast<double>(r >> 11) * 0x1.0p-53 < probability_;
+    }
+  }
+  if (fire) injected_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void FaultRegistry::ArmCountdown(const std::string& point, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point].countdown = nth;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::ArmProbability(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probability_ = p;
+  prob_seed_ = seed;
+  prob_counter_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+Status FaultRegistry::ArmSpec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return Status::InvalidArgument(
+        "fault spec must be '<point>:<countdown>' or '*:p=<prob>[:seed=<s>]' "
+        "(got '" + spec + "')");
+  }
+  const std::string point = spec.substr(0, colon);
+  const std::string rest = spec.substr(colon + 1);
+  if (point == "*") {
+    double p = -1;
+    uint64_t seed = 1;
+    size_t pos = 0;
+    while (pos < rest.size()) {
+      size_t end = rest.find(':', pos);
+      if (end == std::string::npos) end = rest.size();
+      const std::string kv = rest.substr(pos, end - pos);
+      if (kv.rfind("p=", 0) == 0) {
+        p = std::atof(kv.c_str() + 2);
+      } else if (kv.rfind("seed=", 0) == 0) {
+        seed = std::strtoull(kv.c_str() + 5, nullptr, 10);
+      } else {
+        return Status::InvalidArgument("unknown fault spec field '" + kv +
+                                       "'");
+      }
+      pos = end + 1;
+    }
+    if (!(p > 0 && p <= 1)) {
+      return Status::InvalidArgument(
+          "probability spec needs p in (0, 1] (got '" + rest + "')");
+    }
+    ArmProbability(p, seed);
+    return Status::Ok();
+  }
+  if (!IsKnownPoint(point)) {
+    return Status::InvalidArgument("unknown fault point '" + point +
+                                   "' (see util/fault.h kFaultPoints)");
+  }
+  char* end = nullptr;
+  const uint64_t nth = std::strtoull(rest.c_str(), &end, 10);
+  if (end == rest.c_str() || *end != '\0' || nth == 0) {
+    return Status::InvalidArgument("countdown must be a positive integer "
+                                   "(got '" + rest + "')");
+  }
+  ArmCountdown(point, nth);
+  return Status::Ok();
+}
+
+void FaultRegistry::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : points_) st.countdown = 0;
+  probability_ = 0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+void FaultRegistry::ResetHits() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, st] : points_) st.hits = 0;
+}
+
+}  // namespace mbe::util

@@ -7,4 +7,9 @@ MemoryTracker& GlobalMemoryTracker() {
   return *tracker;
 }
 
+MemoryBudget& GlobalMemoryBudget() {
+  static MemoryBudget* budget = new MemoryBudget();
+  return *budget;
+}
+
 }  // namespace mbe::util

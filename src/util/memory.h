@@ -48,6 +48,159 @@ class MemoryTracker {
 /// Process-wide tracker used when an enumerator is not given its own.
 MemoryTracker& GlobalMemoryTracker();
 
+/// A hard memory budget with graceful degradation (docs/ROBUSTNESS.md).
+///
+/// The enumeration-side allocators — EnumContext scratch arenas, MBET's
+/// per-node level/trie/bitmap state, BufferedSink batch arenas — *charge*
+/// their bytes here and release them when the capacity is returned. Two
+/// thresholds drive the behavior:
+///
+///  * past the **soft fraction** of the cap, `UnderPressure()` turns true
+///    and the degradable consumers shed memory-hungry accelerations:
+///    the adaptive set layer stays on sorted lists instead of bitmaps,
+///    nodes skip building tries, sink buffers flush at a fraction of
+///    their thresholds, and the stealing scheduler stops splitting
+///    subtrees (splits multiply live root states). Degradations change
+///    performance, never results.
+///  * past the **hard cap**, `TryCharge` declines — the charge is rolled
+///    back, `exhausted()` latches, and the run's controller converts the
+///    next poll into `Termination::kMemoryLimit` with the valid prefix of
+///    results emitted so far. Declined charges are never recorded, so
+///    `peak()` provably stays <= the cap.
+///
+/// The cap is enforced on *accounted* bytes at polling granularity: an
+/// in-flight allocation completes (the library never fails a malloc
+/// mid-recursion), the run just stops cooperatively right after. A cap of
+/// 0 disables both thresholds; accounting still runs so `peak()` is always
+/// meaningful.
+///
+/// Thread-safe; one process-wide instance (`GlobalMemoryBudget()`) is
+/// shared by all workers of a run, configured per run by the API facade
+/// (`Options::max_memory_bytes`).
+class MemoryBudget {
+ public:
+  /// Fraction of the hard cap at which degradation starts.
+  static constexpr double kSoftFraction = 0.75;
+
+  /// Installs `hard_cap_bytes` (0 = unlimited), re-baselines the peak to
+  /// the currently charged bytes, and clears the exhausted latch. Called
+  /// by the facade at run start.
+  void BeginRun(uint64_t hard_cap_bytes) {
+    hard_cap_.store(hard_cap_bytes, std::memory_order_relaxed);
+    soft_cap_.store(
+        static_cast<uint64_t>(static_cast<double>(hard_cap_bytes) *
+                              kSoftFraction),
+        std::memory_order_relaxed);
+    peak_.store(current_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    exhausted_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Removes the cap (accounting keeps running) and clears the latch.
+  void EndRun() { BeginRun(0); }
+
+  /// Charges `bytes` against the budget. Returns false — rolling the
+  /// charge back and latching `exhausted()` — when a cap is set and the
+  /// charge would exceed it; the caller must not Release a declined
+  /// charge. Always succeeds when no cap is set.
+  bool TryCharge(uint64_t bytes) {
+    const uint64_t now =
+        current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    const uint64_t cap = hard_cap_.load(std::memory_order_relaxed);
+    if (cap > 0 && now > cap) {
+      current_.fetch_sub(bytes, std::memory_order_relaxed);
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  /// Returns previously charged bytes.
+  void Release(uint64_t bytes) {
+    current_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// True when a cap is set and charged bytes passed the soft fraction:
+  /// consumers should degrade (see class comment).
+  bool UnderPressure() const {
+    const uint64_t soft = soft_cap_.load(std::memory_order_relaxed);
+    return soft > 0 &&
+           current_.load(std::memory_order_relaxed) >= soft;
+  }
+
+  /// Latched when a charge was declined (or a fault forced exhaustion);
+  /// cleared by BeginRun/EndRun. RunController polls this at checkpoints.
+  bool exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Fault-injection hook: makes the budget report exhaustion as if a
+  /// charge had been declined, exercising the kMemoryLimit path.
+  void ForceExhaust() { exhausted_.store(true, std::memory_order_relaxed); }
+
+  /// Degradation accounting (EnumStats::degradations).
+  void NoteDegradation() {
+    degradations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t degradations() const {
+    return degradations_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t hard_cap() const {
+    return hard_cap_.load(std::memory_order_relaxed);
+  }
+  uint64_t charged() const {
+    return current_.load(std::memory_order_relaxed);
+  }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> hard_cap_{0};
+  std::atomic<uint64_t> soft_cap_{0};
+  std::atomic<uint64_t> current_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<bool> exhausted_{false};
+  std::atomic<uint64_t> degradations_{0};
+};
+
+/// The process-wide budget every charging site uses.
+MemoryBudget& GlobalMemoryBudget();
+
+/// RAII charge: charges `bytes` to `budget` (and `tracker`, if given) on
+/// construction and returns them on destruction. The release must be
+/// exception-safe — an exception unwinding through an enumeration node
+/// (throwing sink, injected fault) would otherwise leak the charge into
+/// the process-wide budget and poison every later run's accounting.
+class ScopedCharge {
+ public:
+  ScopedCharge(MemoryBudget& budget, MemoryTracker* tracker, uint64_t bytes)
+      : budget_(budget),
+        tracker_(tracker),
+        bytes_(bytes),
+        charged_(budget.TryCharge(bytes)) {
+    if (tracker_ != nullptr) tracker_->Add(bytes_);
+  }
+  ~ScopedCharge() {
+    if (tracker_ != nullptr) tracker_->Sub(bytes_);
+    if (charged_) budget_.Release(bytes_);
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  /// False when the budget declined the charge (exhaustion latched).
+  bool charged() const { return charged_; }
+
+ private:
+  MemoryBudget& budget_;
+  MemoryTracker* tracker_;
+  uint64_t bytes_;
+  bool charged_;
+};
+
 }  // namespace mbe::util
 
 #endif  // PMBE_UTIL_MEMORY_H_

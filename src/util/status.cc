@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "CORRUPT_DATA";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
   }
   return "UNKNOWN";
 }

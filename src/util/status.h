@@ -22,6 +22,7 @@ enum class StatusCode {
   kOutOfRange,
   kCorruptData,
   kUnimplemented,
+  kInternal,
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "IO_ERROR", ...).
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

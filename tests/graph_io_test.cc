@@ -65,10 +65,71 @@ TEST(GraphIoTest, MissingSecondColumnIsCorrupt) {
   ASSERT_FALSE(result.ok());
 }
 
-TEST(GraphIoTest, DuplicateEdgesCollapse) {
-  auto result = ParseEdgeListText("0 0\n0 0\n0 0\n");
-  ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result.value().num_edges(), 1u);
+TEST(GraphIoTest, PlainDuplicateEdgesAreCorrupt) {
+  // The strict plain-text loader rejects duplicate edges and names both
+  // offending lines; silently collapsing them hides generator bugs.
+  auto result = ParseEdgeListText("0 0\n1 1\n0 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, PlainTrailingGarbageIsCorrupt) {
+  auto result = ParseEdgeListText("0 0\n1 1 extra\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(GraphIoTest, DuplicateHeaderIsCorrupt) {
+  auto result = ParseEdgeListText("# pmbe 2 2\n# pmbe 3 3\n0 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, OverflowingIdIsOutOfRange) {
+  // 21 digits: exceeds 64 bits entirely, must not silently wrap.
+  auto result = ParseEdgeListText("0 184467440737095516150\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(GraphIoTest, HeaderMismatchNamesBothLines) {
+  auto result = ParseEdgeListText("# pmbe 4 4\n0 0\n7 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kCorruptData);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(GraphIoTest, HeaderCardinalityOverflowIsOutOfRange) {
+  auto result = ParseEdgeListText("# pmbe 99999999999 2\n0 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(GraphIoTest, HugeHeaderTripsAmplificationGuard) {
+  // In-range cardinality, but gigabytes of CSR for a 20-byte input: the
+  // loader must refuse before allocating, naming the header line.
+  auto result = ParseEdgeListText("# pmbe 99999999 2\n0 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(result.status().message().find("amplification"),
+            std::string::npos);
+}
+
+TEST(GraphIoTest, HugeSparseIdTripsAmplificationGuard) {
+  // No header: a single edge naming vertex 99999999 implies the same
+  // oversized allocation; the guard names the line of the offending id.
+  auto result = ParseEdgeListText("0 0\n1 99999999\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
 }
 
 TEST(GraphIoTest, EmptyInputGivesEmptyGraph) {
@@ -141,6 +202,35 @@ TEST(GraphIoTest, HugeIdIsOutOfRange) {
   auto result = ParseEdgeListText("0 18446744073709551615\n");
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), util::StatusCode::kOutOfRange);
+}
+
+TEST(GraphIoTest, KonectTextHelperMatchesLoader) {
+  auto result = ParseKonectText("% bip unweighted\n1 1\n2 3 5 1200000\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().HasEdge(0, 0));
+  EXPECT_TRUE(result.value().HasEdge(1, 2));
+}
+
+// Every fixture under tests/data/bad/ must be rejected with a non-OK
+// status (never a crash), and the message must carry a line number.
+TEST(GraphIoTest, MalformedFixturesAreRejectedWithLineNumbers) {
+  const std::string dir = std::string(PMBE_TEST_DATA_DIR) + "/bad";
+  const char* kFixtures[] = {
+      "dup_edge.txt",       "overflow_id.txt",  "trailing_garbage.txt",
+      "double_header.txt",  "header_too_small.txt", "not_numbers.txt",
+      "header_overflow.txt", "konect_zero_id.txt",
+  };
+  for (const char* name : kFixtures) {
+    const std::string path = dir + "/" + name;
+    auto result = std::string(name).rfind("konect_", 0) == 0
+                      ? LoadKonect(path)
+                      : LoadEdgeList(path);
+    ASSERT_FALSE(result.ok()) << name;
+    EXPECT_NE(result.status().code(), util::StatusCode::kNotFound)
+        << name << ": fixture missing";
+    EXPECT_NE(result.status().message().find("line "), std::string::npos)
+        << name << ": " << result.status().message();
+  }
 }
 
 TEST(GraphIoTest, SaveToUnwritablePathFails) {

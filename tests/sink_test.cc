@@ -271,8 +271,28 @@ TEST(BudgetSinkTest, CountsBatchedEmissions) {
   std::vector<VertexId> l = {1}, r = {2};
   for (int i = 0; i < 6; ++i) batch.Append(l, r);
   budget.EmitBatch(batch);
-  EXPECT_EQ(inner.count(), 6u);
+  // Regression: a batch straddling the bound used to be delivered whole,
+  // over-emitting past max_results. Exactly the admitted prefix goes down.
+  EXPECT_EQ(inner.count(), 5u);
+  EXPECT_EQ(budget.emitted(), 5u);
   EXPECT_TRUE(budget.ShouldStop());
+}
+
+TEST(BudgetSinkTest, ExactBoundAcrossBatchesAndSingles) {
+  CountSink inner;
+  BudgetSink budget(&inner, /*max_results=*/4, 0);
+  BicliqueBatch batch;
+  std::vector<VertexId> l = {1}, r = {2};
+  for (int i = 0; i < 3; ++i) batch.Append(l, r);
+  budget.EmitBatch(batch);  // 3 of 4 admitted
+  EXPECT_EQ(inner.count(), 3u);
+  EXPECT_FALSE(budget.ShouldStop());
+  budget.EmitBatch(batch);  // only 1 seat left
+  EXPECT_EQ(inner.count(), 4u);
+  EXPECT_TRUE(budget.ShouldStop());
+  budget.Emit(l, r);  // singles past the bound are dropped too
+  EXPECT_EQ(inner.count(), 4u);
+  EXPECT_EQ(budget.emitted(), 4u);
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "api/mbe.h"
 #include "gen/registry.h"
 #include "graph/graph_io.h"
+#include "util/fault.h"
 #include "util/flags.h"
 #include "util/simd.h"
 #include "util/stats.h"
@@ -63,6 +64,17 @@ int main(int argc, char** argv) {
                "stop after ~this many enumeration nodes (0 = none)");
   flags.AddDouble("progress_every_s", 0,
                   "print progress to stderr every this many seconds (0 = off)");
+  flags.AddInt("max_memory_mb", 0,
+               "hard cap on accounted enumeration memory in MiB (0 = none); "
+               "past 75% the run degrades gracefully, past the cap it stops "
+               "with a valid result prefix");
+  flags.AddDouble("watchdog_s", 0,
+                  "parallel worker stall bound in seconds (0 = off): a worker "
+                  "silent this long stops the run instead of hanging it");
+  flags.AddString("fault", "",
+                  "arm a fault schedule, e.g. 'arena.grow:3' or "
+                  "'*:p=0.01:seed=7' (needs a -DPMBE_FAULT_INJECTION=ON "
+                  "build; see docs/ROBUSTNESS.md)");
   flags.AddDouble("budget", 0, "deprecated alias of --timeout_s");
   flags.AddInt("limit", 0, "deprecated alias of --max_results");
   flags.AddInt("min-left", 1, "only bicliques with |L| >= this");
@@ -148,6 +160,31 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(p.stats.nodes_expanded));
     };
   }
+  // --- Robustness: memory cap, watchdog, fault injection ------------------
+  if (flags.GetInt("max_memory_mb") < 0 || flags.GetDouble("watchdog_s") < 0) {
+    std::fprintf(stderr,
+                 "error: INVALID_ARGUMENT: --max_memory_mb / --watchdog_s "
+                 "must be >= 0\n");
+    return 2;
+  }
+  options.max_memory_bytes =
+      static_cast<uint64_t>(flags.GetInt("max_memory_mb")) * (1 << 20);
+  options.watchdog_stall_seconds = flags.GetDouble("watchdog_s");
+  if (!flags.GetString("fault").empty()) {
+#if !defined(PMBE_FAULT_INJECTION)
+    std::fprintf(stderr,
+                 "error: --fault requires a -DPMBE_FAULT_INJECTION=ON build "
+                 "(fault points are compiled out of this binary)\n");
+    return 2;
+#else
+    if (util::Status armed =
+            util::FaultRegistry::Global().ArmSpec(flags.GetString("fault"));
+        !armed.ok()) {
+      std::fprintf(stderr, "error: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+#endif
+  }
   if (util::Status valid = options.Validate(); !valid.ok()) {
     std::fprintf(stderr, "error: %s\n", valid.ToString().c_str());
     return 2;
@@ -210,7 +247,9 @@ int main(int argc, char** argv) {
 
   const bool truncated = !run.complete();
   if (truncated) {
-    std::printf("run stopped early: %s\n", TerminationName(run.termination));
+    std::printf("run stopped early: %s%s%s\n",
+                TerminationName(run.termination),
+                run.message.empty() ? "" : " — ", run.message.c_str());
   }
   std::printf("%s%llu maximal bicliques in %.3fs (preprocess %.3fs)\n",
               truncated ? ">= " : "",
@@ -247,6 +286,19 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(s.simd_difference_calls),
                 static_cast<unsigned long long>(s.simd_mask_calls),
                 static_cast<unsigned long long>(s.simd_word_calls));
+    if (options.max_memory_bytes > 0 || s.degradations > 0 ||
+        s.faults_injected > 0) {
+      std::printf("  memory budget:       peak %s bytes charged, "
+                  "%llu degradations, %llu faults injected\n",
+                  util::HumanCount(static_cast<double>(s.peak_charged_bytes))
+                      .c_str(),
+                  static_cast<unsigned long long>(s.degradations),
+                  static_cast<unsigned long long>(s.faults_injected));
+    }
+    if (s.watchdog_checks > 0) {
+      std::printf("  watchdog:            %llu sweeps\n",
+                  static_cast<unsigned long long>(s.watchdog_checks));
+    }
     if (s.arena_peak_bytes > 0) {
       std::printf("  arena peak:          %s bytes (per-thread scratch)\n",
                   util::HumanCount(static_cast<double>(s.arena_peak_bytes))

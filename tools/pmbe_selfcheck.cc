@@ -11,6 +11,15 @@
 //
 // The default configuration runs in about a minute; leave it running with
 // a large --rounds for a soak test.
+//
+// Robustness modes (docs/ROBUSTNESS.md):
+//   --chaos        every round also runs under a randomized memory cap, a
+//                  watchdog, and (in -DPMBE_FAULT_INJECTION=ON builds) a
+//                  probabilistic fault schedule; the run must end typed
+//                  with a valid prefix of the reference set.
+//   --fault_sweep  deterministic countdown sweep over every registered
+//                  fault point (fault builds only): each injection must
+//                  yield kMemoryLimit/kInternal/kComplete, never a crash.
 
 #include <algorithm>
 #include <cstdio>
@@ -20,6 +29,7 @@
 #include "core/verify.h"
 #include "gen/generators.h"
 #include "graph/graph_io.h"
+#include "util/fault.h"
 #include "util/flags.h"
 #include "util/random.h"
 #include "util/simd.h"
@@ -69,6 +79,113 @@ int Fail(const BipartiteGraph& graph, const std::string& what,
   return 1;
 }
 
+// True when an interrupted-or-complete run is acceptable under injected
+// faults / memory caps: typed termination, nothing else.
+bool TypedTermination(Termination t) {
+  return t == Termination::kComplete || t == Termination::kMemoryLimit ||
+         t == Termination::kInternal;
+}
+
+// Runs one enumeration under robustness options and checks the contract:
+// OK status, typed termination, every emitted biclique in `reference`.
+// Returns a non-empty diagnostic on violation.
+std::string CheckedChaosRun(const BipartiteGraph& graph,
+                            const std::vector<Biclique>& reference,
+                            const Options& options) {
+  CollectSink sink;
+  RunResult run;
+  const util::Status status = Enumerate(graph, options, &sink, &run);
+  if (!status.ok()) {
+    return "status not OK: " + status.ToString();
+  }
+  if (!TypedTermination(run.termination)) {
+    return std::string("untyped termination: ") +
+           TerminationName(run.termination);
+  }
+  if (options.max_memory_bytes > 0 &&
+      run.stats.peak_charged_bytes > options.max_memory_bytes) {
+    return "peak_charged_bytes " +
+           std::to_string(run.stats.peak_charged_bytes) + " exceeds cap " +
+           std::to_string(options.max_memory_bytes);
+  }
+  const std::vector<Biclique> got = sink.TakeSorted();
+  if (run.termination == Termination::kComplete &&
+      got.size() != reference.size()) {
+    return "complete run returned " + std::to_string(got.size()) +
+           " bicliques, reference has " + std::to_string(reference.size());
+  }
+  for (const Biclique& b : got) {
+    if (!std::binary_search(reference.begin(), reference.end(), b)) {
+      return "emitted biclique not in the reference set: " + ToString(b);
+    }
+  }
+  return "";
+}
+
+#if defined(PMBE_FAULT_INJECTION)
+
+// Deterministic fault matrix: for every registered point, measure how
+// often the site fires on a fixed graph, then sweep countdowns across that
+// range. Returns 0 on success.
+int RunFaultSweep() {
+  auto& registry = util::FaultRegistry::Global();
+  const BipartiteGraph graph = gen::ErdosRenyi(24, 24, 0.4, 7);
+  CollectSink reference_sink;
+  Enumerate(graph, Options(), &reference_sink);
+  const std::vector<Biclique> reference = reference_sink.TakeSorted();
+
+  Options options;
+  options.threads = 2;
+  options.watchdog_stall_seconds = 1;  // outlasts the worker.stall nap
+
+  for (const char* point : util::kFaultPoints) {
+    if (std::string(point) == "loader.line") {
+      // Exercised through the loader, not Enumerate.
+      registry.ArmCountdown(point, 1);
+      auto loaded = ParseEdgeListText("0 0\n1 1\n");
+      registry.Disarm();
+      if (loaded.ok()) {
+        std::fprintf(stderr,
+                     "FAULT-SWEEP FAILURE: loader.line injection was not "
+                     "surfaced as an error\n");
+        return 1;
+      }
+      continue;
+    }
+    // Pass 1: count how often this site fires (armed, unreachable nth).
+    registry.ResetHits();
+    registry.ArmCountdown(point, ~uint64_t{0});
+    {
+      CountSink sink;
+      Enumerate(graph, options, &sink);
+    }
+    const uint64_t hits = registry.hits(point);
+    registry.Disarm();
+    // Pass 2: sweep the countdown through the observed range.
+    const uint64_t sweep = std::min<uint64_t>(hits, 6);
+    for (uint64_t nth = 1; nth <= sweep; ++nth) {
+      registry.ArmCountdown(point, nth);
+      const std::string violation = CheckedChaosRun(graph, reference, options);
+      registry.Disarm();
+      if (!violation.empty()) {
+        std::fprintf(stderr,
+                     "FAULT-SWEEP FAILURE: point %s countdown %llu: %s\n",
+                     point, static_cast<unsigned long long>(nth),
+                     violation.c_str());
+        return 1;
+      }
+    }
+    std::printf("fault sweep: %-14s %llu site hits, %llu countdowns OK\n",
+                point, static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(sweep));
+  }
+  std::printf("fault sweep passed (every registered point, typed "
+              "terminations, valid prefixes)\n");
+  return 0;
+}
+
+#endif  // PMBE_FAULT_INJECTION
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -76,7 +193,31 @@ int main(int argc, char** argv) {
   flags.AddInt("rounds", 150, "number of random graphs to check");
   flags.AddInt("seed", 1, "master seed");
   flags.AddBool("verbose", false, "log each round");
+  flags.AddBool("chaos", false,
+                "also run each round under a random memory cap, a watchdog, "
+                "and (fault builds) a probabilistic fault schedule");
+  flags.AddBool("fault_sweep", false,
+                "run the deterministic countdown sweep over every fault "
+                "point, then exit (needs -DPMBE_FAULT_INJECTION=ON)");
   flags.Parse(argc, argv);
+
+  if (flags.GetBool("fault_sweep")) {
+#if defined(PMBE_FAULT_INJECTION)
+    return RunFaultSweep();
+#else
+    std::fprintf(stderr,
+                 "error: --fault_sweep requires a -DPMBE_FAULT_INJECTION=ON "
+                 "build (fault points are compiled out of this binary)\n");
+    return 2;
+#endif
+  }
+#if !defined(PMBE_FAULT_INJECTION)
+  if (flags.GetBool("chaos")) {
+    std::fprintf(stderr,
+                 "note: fault points are compiled out of this binary; "
+                 "--chaos covers memory caps and watchdogs only\n");
+  }
+#endif
 
   util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
   const int64_t rounds = flags.GetInt("rounds");
@@ -230,6 +371,29 @@ int main(int argc, char** argv) {
                         detail, round);
           }
         }
+      }
+    }
+
+    // Chaos pass: the same graph under a randomized memory cap, a
+    // watchdog, and (fault builds) a probabilistic fault schedule. The
+    // contract is weaker than the differential checks — the run may stop
+    // early — but it must stop *typed* and with a valid prefix.
+    if (flags.GetBool("chaos")) {
+      Options chaos;
+      chaos.threads = 1 + rng.Below(4);
+      chaos.watchdog_stall_seconds = 1;
+      // Caps from starving (16 KiB) to comfortable (2 MiB).
+      chaos.max_memory_bytes = uint64_t{1} << (14 + rng.Below(8));
+#if defined(PMBE_FAULT_INJECTION)
+      util::FaultRegistry::Global().ArmProbability(0.01, rng.Next());
+#endif
+      const std::string violation = CheckedChaosRun(graph, reference, chaos);
+#if defined(PMBE_FAULT_INJECTION)
+      util::FaultRegistry::Global().Disarm();
+#endif
+      if (!violation.empty()) {
+        return Fail(graph, "chaos run violated the robustness contract",
+                    violation, round);
       }
     }
 
