@@ -66,7 +66,8 @@ int main(int argc, char** argv) {
     options.algorithm = algorithm;
     options.threads = static_cast<unsigned>(flags.GetInt("threads"));
     if (options.threads == 0) options.threads = 1;
-    Enumerate(graph, options, &sink);
+    const util::Status status = Enumerate(graph, options, &sink, nullptr);
+    PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
     std::printf("%s: %s bicliques in %s%s\n", AlgorithmName(algorithm),
                 util::HumanCount(static_cast<double>(sink.count())).c_str(),
                 util::HumanSeconds(sink.elapsed()).c_str(),

@@ -22,7 +22,10 @@ RunOutcome TimedRun(const BipartiteGraph& graph, const Options& options,
     run_options.mbet.memory = &tracker;
   }
 
-  RunResult run = Enumerate(graph, run_options, &budget);
+  RunResult run;
+  // Bench configs are static and valid; a failure here is a harness bug.
+  const util::Status status = Enumerate(graph, run_options, &budget, &run);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
   // A run is truncated iff one of the budgets tripped during it.
   outcome.completed = true;
   if (budget_seconds > 0 && run.seconds >= budget_seconds) {

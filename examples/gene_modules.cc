@@ -25,7 +25,12 @@ int main() {
 
   mbe::CollectSink sink;
   mbe::Options options;
-  mbe::RunResult run = mbe::Enumerate(graph, options, &sink);
+  mbe::RunResult run;
+  if (mbe::util::Status status = mbe::Enumerate(graph, options, &sink, &run);
+      !status.ok()) {
+    std::printf("enumeration failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   std::vector<mbe::Biclique> modules = sink.TakeSorted();
 
   // Keep modules with at least 4 genes over at least 4 conditions and rank

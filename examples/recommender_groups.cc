@@ -38,7 +38,12 @@ int main() {
 
   mbe::Options options;
   options.threads = 4;
-  mbe::RunResult run = mbe::Enumerate(graph, options, &sink);
+  mbe::RunResult run;
+  if (mbe::util::Status status = mbe::Enumerate(graph, options, &sink, &run);
+      !status.ok()) {
+    std::printf("enumeration failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
   std::printf("%llu bicliques in %.1fms; %zu taste groups (>=3x3)\n",
               static_cast<unsigned long long>(run.stats.maximal),
               run.seconds * 1e3, groups.size());

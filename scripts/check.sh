@@ -163,6 +163,88 @@ echo "$env_out" | grep -q "stopped early: internal" || {
 }
 echo "fault matrix OK"
 
+echo "=== serve leg: daemon + concurrent sessions under ASan + faults ==="
+# The serving stack (docs/SERVICE.md) under the sanitizer/fault build:
+# pmbe_serve on a Unix socket, pmbe_load running a mixed concurrent
+# workload with per-session digest verification against a local reference
+# run. Three rounds: clean; one injected worker-task failure; one injected
+# sink-flush failure. The fault rounds must interrupt exactly one session
+# (Termination::kInternal) while every neighbor completes bit-identically
+# — per-session containment on shared pool workers. Finally SIGTERM
+# mid-workload must drain: in-flight sessions finish, the daemon reports
+# the drain and exits 0.
+SERVE_SOCK="/tmp/pmbe_check_$$.sock"
+SERVE_LOG="/tmp/pmbe_check_serve_$$.log"
+start_daemon() {  # start_daemon [ENV=VAL ...]
+  env "$@" "$FAULT_DIR/tools/pmbe_serve" --unix="$SERVE_SOCK" \
+    --max-active=8 >"$SERVE_LOG" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 100); do
+    [[ -S "$SERVE_SOCK" ]] && grep -q "listening" "$SERVE_LOG" && return 0
+    sleep 0.1
+  done
+  echo "FAIL: pmbe_serve did not come up" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+stop_daemon() {
+  kill -TERM "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID"
+}
+for fault in none worker.task sink.flush; do
+  if [[ "$fault" == none ]]; then
+    echo "--- serve round: clean ---"
+    start_daemon
+  else
+    echo "--- serve round: PMBE_FAULT_INJECT=$fault:1 ---"
+    start_daemon PMBE_FAULT_INJECT="$fault:1"
+  fi
+  load_out=$("$FAULT_DIR/tools/pmbe_load" --unix="$SERVE_SOCK" \
+             --graph=Mti --scale=0.3 --sessions=16 --concurrent=8)
+  echo "$load_out" | sed 's/^/  /'
+  echo "$load_out" | grep -q " 0 digest mismatches" || {
+    echo "FAIL: serve round '$fault' corrupted a session" >&2
+    exit 1
+  }
+  if [[ "$fault" == none ]]; then
+    echo "$load_out" | grep -q "16 complete, 0 interrupted" || {
+      echo "FAIL: clean serve round did not complete every session" >&2
+      exit 1
+    }
+  else
+    # The injected failure hits exactly one session; 15 neighbors finish.
+    echo "$load_out" | grep -q "15 complete, 1 interrupted" || {
+      echo "FAIL: fault '$fault' was not contained to one session" >&2
+      exit 1
+    }
+  fi
+  stop_daemon
+done
+echo "--- serve round: SIGTERM drain mid-workload ---"
+start_daemon
+"$FAULT_DIR/tools/pmbe_load" --unix="$SERVE_SOCK" --graph=Mti --scale=0.3 \
+  --sessions=16 --concurrent=8 >/tmp/pmbe_check_drain_$$.log 2>&1 &
+LOAD_PID=$!
+sleep 1
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+  echo "FAIL: daemon exited nonzero on SIGTERM" >&2
+  exit 1
+}
+wait "$LOAD_PID" || true  # late sessions may be rejected (draining); no corruption allowed
+grep -q " 0 digest mismatches" /tmp/pmbe_check_drain_$$.log || {
+  echo "FAIL: drain corrupted an in-flight session" >&2
+  cat /tmp/pmbe_check_drain_$$.log >&2
+  exit 1
+}
+grep -q "pmbe_serve draining" "$SERVE_LOG" && grep -q "pmbe_serve stopped" "$SERVE_LOG" || {
+  echo "FAIL: daemon did not report a clean drain" >&2
+  cat "$SERVE_LOG" >&2
+  exit 1
+}
+rm -f "$SERVE_SOCK" "$SERVE_LOG" /tmp/pmbe_check_drain_$$.log
+echo "serve leg OK"
+
 echo "=== memory-budget proof: capped run on a worst-case graph ==="
 # DBT at 8 threads charges ~17 MB peak (per-worker sink buffers + split
 # subtree states), so a 1 MiB cap must terminate the run (memory-limit)

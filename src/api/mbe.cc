@@ -1,274 +1,45 @@
 #include "api/mbe.h"
 
-#include <algorithm>
-#include <cmath>
 #include <memory>
-#include <numeric>
-#include <optional>
-
-#include "baselines/mbea.h"
-#include "baselines/mine_lmbc.h"
-#include "baselines/oombea_lite.h"
-#include "graph/reduction.h"
-#include "parallel/parallel_mbe.h"
-#include "util/fault.h"
-#include "util/memory.h"
-#include "util/simd.h"
-#include "util/timer.h"
+#include <utility>
 
 namespace mbe {
 
-util::Status ParseAlgorithm(const std::string& name, Algorithm* algorithm) {
-  PMBE_CHECK(algorithm != nullptr);
-  if (name == "mbet") {
-    *algorithm = Algorithm::kMbet;
-  } else if (name == "mbetm") {
-    *algorithm = Algorithm::kMbetM;
-  } else if (name == "minelmbc") {
-    *algorithm = Algorithm::kMineLmbc;
-  } else if (name == "mbea") {
-    *algorithm = Algorithm::kMbea;
-  } else if (name == "imbea") {
-    *algorithm = Algorithm::kImbea;
-  } else if (name == "oombea") {
-    *algorithm = Algorithm::kOombeaLite;
-  } else {
-    return util::Status::InvalidArgument(
-        "unknown algorithm '" + name +
-        "' (expected mbet | mbetm | minelmbc | mbea | imbea | oombea)");
-  }
-  return util::Status::Ok();
+GraphOptions Options::graph_options() const {
+  GraphOptions graph;
+  graph.order = order;
+  graph.hub_first_left = hub_first_left;
+  graph.auto_swap_sides = auto_swap_sides;
+  // Core reduction is only exact for the size-filtering MBET family: the
+  // other algorithms enumerate everything, and bicliques below the
+  // thresholds are gone from the reduced graph.
+  const bool mbet_family =
+      algorithm == Algorithm::kMbet || algorithm == Algorithm::kMbetM;
+  graph.core_reduce = core_reduce && mbet_family;
+  graph.min_left = mbet.min_left;
+  graph.min_right = mbet.min_right;
+  graph.seed = seed;
+  return graph;
 }
 
-Algorithm ParseAlgorithm(const std::string& name) {
-  Algorithm algorithm = Algorithm::kMbet;
-  const util::Status status = ParseAlgorithm(name, &algorithm);
-  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
-  return algorithm;
+RunOptions Options::run_options() const {
+  RunOptions run;
+  run.algorithm = algorithm;
+  run.threads = threads;
+  run.scheduling = scheduling;
+  run.max_split = max_split;
+  run.mbet = mbet;
+  run.control = control;
+  run.max_memory_bytes = max_memory_bytes;
+  run.watchdog_stall_seconds = watchdog_stall_seconds;
+  return run;
 }
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kMbet:
-      return "MBET";
-    case Algorithm::kMbetM:
-      return "MBETM";
-    case Algorithm::kMineLmbc:
-      return "MineLMBC";
-    case Algorithm::kMbea:
-      return "MBEA";
-    case Algorithm::kImbea:
-      return "iMBEA";
-    case Algorithm::kOombeaLite:
-      return "ooMBEA-lite";
-  }
-  return "?";
-}
-
-namespace {
-
-/// The algorithms the per-vertex subtree decomposition (and hence the
-/// parallel driver) supports.
-bool SupportsParallel(Algorithm algorithm) {
-  return algorithm == Algorithm::kMbet || algorithm == Algorithm::kMbetM ||
-         algorithm == Algorithm::kImbea || algorithm == Algorithm::kOombeaLite;
-}
-
-}  // namespace
 
 util::Status Options::Validate() const {
-  if (threads == 0) {
-    return util::Status::InvalidArgument("threads must be >= 1 (got 0)");
-  }
-  if (threads > 1 && !SupportsParallel(algorithm)) {
-    return util::Status::InvalidArgument(
-        std::string("algorithm ") + AlgorithmName(algorithm) +
-        " does not support threads > 1");
-  }
-  if (mbet.min_left == 0 || mbet.min_right == 0) {
-    return util::Status::InvalidArgument(
-        "mbet.min_left / mbet.min_right are minimum side sizes and must be "
-        ">= 1 (got 0)");
-  }
-  if (mbet.trie_min_groups == 0) {
-    return util::Status::InvalidArgument(
-        "mbet.trie_min_groups must be >= 1 (1 builds a trie everywhere)");
-  }
-  if (!(mbet.bitmap_density >= 0.0)) {  // negatives and NaN
-    return util::Status::InvalidArgument(
-        "mbet.bitmap_density must be >= 0 (0 forces bitmaps, > 1 disables "
-        "them)");
-  }
-  if (max_split == 0 || max_split > kMaxTaskShards) {
-    return util::Status::InvalidArgument(
-        "max_split must be in [1, " + std::to_string(kMaxTaskShards) +
-        "] (1 disables subtree splitting)");
-  }
-  if (threads > 1 && mbet.best_edges != nullptr) {
-    return util::Status::InvalidArgument(
-        "mbet.best_edges (branch-and-bound watermark) is unsynchronized "
-        "state and requires threads == 1");
-  }
-  if (!(control.deadline_seconds >= 0)) {
-    return util::Status::InvalidArgument(
-        "control.deadline_seconds must be >= 0 (0 disables the deadline)");
-  }
-  if (std::isnan(control.progress_every_s)) {
-    return util::Status::InvalidArgument(
-        "control.progress_every_s must not be NaN");
-  }
-  if (!(watchdog_stall_seconds >= 0)) {  // negatives and NaN
-    return util::Status::InvalidArgument(
-        "watchdog_stall_seconds must be >= 0 (0 disables the watchdog)");
-  }
-  return util::Status::Ok();
+  // RunOptions::Validate subsumes the graph half's checks (the size
+  // thresholds are shared fields), so the error messages stay stable.
+  return run_options().Validate();
 }
-
-namespace {
-
-/// Maps emitted bicliques from preprocessed ids back to the caller's
-/// original ids (and original side orientation), re-sorting each side.
-/// Stateless per emission, hence safe for concurrent Emit calls.
-class TranslatingSink : public ResultSink {
- public:
-  /// `left_new_to_old` / `right_new_to_old` are in the *preprocessed*
-  /// orientation; `swapped` says the preprocessed left side is the
-  /// caller's right side.
-  TranslatingSink(ResultSink* inner, std::vector<VertexId> left_new_to_old,
-                  std::vector<VertexId> right_new_to_old, bool swapped)
-      : inner_(inner),
-        left_map_(std::move(left_new_to_old)),
-        right_map_(std::move(right_new_to_old)),
-        swapped_(swapped) {}
-
-  void Emit(std::span<const VertexId> left,
-            std::span<const VertexId> right) override {
-    std::vector<VertexId> l(left.size()), r(right.size());
-    for (size_t i = 0; i < left.size(); ++i) l[i] = left_map_[left[i]];
-    for (size_t i = 0; i < right.size(); ++i) r[i] = right_map_[right[i]];
-    std::sort(l.begin(), l.end());
-    std::sort(r.begin(), r.end());
-    if (swapped_) {
-      inner_->Emit(r, l);
-    } else {
-      inner_->Emit(l, r);
-    }
-  }
-
-  void EmitBatch(const BicliqueBatch& batch) override {
-    // Translate into a stack-local batch (this sink is shared by all
-    // workers, so no member scratch) and forward in one call, preserving
-    // the one-lock amortization of the buffered upstream.
-    BicliqueBatch translated;
-    std::vector<VertexId> l, r;
-    for (size_t i = 0; i < batch.size(); ++i) {
-      const auto left = batch.left(i);
-      const auto right = batch.right(i);
-      l.resize(left.size());
-      r.resize(right.size());
-      for (size_t j = 0; j < left.size(); ++j) l[j] = left_map_[left[j]];
-      for (size_t j = 0; j < right.size(); ++j) r[j] = right_map_[right[j]];
-      std::sort(l.begin(), l.end());
-      std::sort(r.begin(), r.end());
-      if (swapped_) {
-        translated.Append(r, l);
-      } else {
-        translated.Append(l, r);
-      }
-    }
-    inner_->EmitBatch(translated);
-  }
-
-  bool ShouldStop() const override { return inner_->ShouldStop(); }
-
- private:
-  ResultSink* inner_;
-  std::vector<VertexId> left_map_;
-  std::vector<VertexId> right_map_;
-  bool swapped_;
-};
-
-/// SubtreeWorker adapters. Each worker engine polls the run's shared
-/// controller (may be null), so any worker tripping a limit stops all.
-class MbetWorker : public SubtreeWorker {
- public:
-  MbetWorker(const BipartiteGraph& graph, const MbetOptions& options,
-             RunController* controller)
-      : engine_(graph, options) {
-    engine_.SetRunController(controller);
-  }
-  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
-    engine_.EnumerateSubtree(v, sink);
-  }
-  uint32_t SplitHint(VertexId v, uint32_t max_shards,
-                     uint64_t min_work) override {
-    return engine_.SplitHint(v, max_shards, min_work);
-  }
-  void EnumerateShard(VertexId v, uint32_t shard, uint32_t num_shards,
-                      ResultSink* sink) override {
-    engine_.EnumerateShard(v, shard, num_shards, sink);
-  }
-  EnumStats stats() const override { return engine_.stats(); }
-
- private:
-  MbetEnumerator engine_;
-};
-
-class ImbeaWorker : public SubtreeWorker {
- public:
-  ImbeaWorker(const BipartiteGraph& graph, RunController* controller)
-      : engine_(graph, MbeaOptions{.improved = true}) {
-    engine_.SetRunController(controller);
-  }
-  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
-    engine_.EnumerateSubtree(v, sink);
-  }
-  uint32_t SplitHint(VertexId v, uint32_t max_shards,
-                     uint64_t min_work) override {
-    return engine_.SplitHint(v, max_shards, min_work);
-  }
-  void EnumerateShard(VertexId v, uint32_t shard, uint32_t num_shards,
-                      ResultSink* sink) override {
-    engine_.EnumerateShard(v, shard, num_shards, sink);
-  }
-  EnumStats stats() const override { return engine_.stats(); }
-
- private:
-  MbeaEnumerator engine_;
-};
-
-std::vector<VertexId> IdentityPerm(size_t n) {
-  std::vector<VertexId> perm(n);
-  std::iota(perm.begin(), perm.end(), 0);
-  return perm;
-}
-
-/// Scopes the process-wide memory budget to one run: installs the cap on
-/// entry and removes it (clearing the exhausted latch) on every exit path.
-class BudgetScope {
- public:
-  explicit BudgetScope(uint64_t hard_cap_bytes) {
-    util::GlobalMemoryBudget().BeginRun(hard_cap_bytes);
-  }
-  ~BudgetScope() { util::GlobalMemoryBudget().EndRun(); }
-  BudgetScope(const BudgetScope&) = delete;
-  BudgetScope& operator=(const BudgetScope&) = delete;
-};
-
-// Hub-first (descending degree) permutation of the left side: new id i is
-// old id perm[i].
-std::vector<VertexId> HubFirstLeftPerm(const BipartiteGraph& graph) {
-  std::vector<VertexId> perm = IdentityPerm(graph.num_left());
-  std::stable_sort(perm.begin(), perm.end(), [&](VertexId a, VertexId b) {
-    const size_t da = graph.LeftDegree(a);
-    const size_t db = graph.LeftDegree(b);
-    if (da != db) return da > db;
-    return a < b;
-  });
-  return perm;
-}
-
-}  // namespace
 
 util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
                        ResultSink* sink, RunResult* out_result) {
@@ -276,230 +47,22 @@ util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
     return util::Status::InvalidArgument("sink must not be null");
   }
   PMBE_RETURN_IF_ERROR(options.Validate());
+  util::StatusOr<std::shared_ptr<const Engine>> engine =
+      Engine::Build(graph, options.graph_options());
+  PMBE_RETURN_IF_ERROR(engine.status());
+  Session session(engine.value(), options.run_options());
   RunResult result;
-  util::WallTimer prep_timer;
-
-  // --- Preprocessing pipeline -------------------------------------------
-  BipartiteGraph work = graph;
-  const bool swapped =
-      options.auto_swap_sides && work.num_right() > work.num_left();
-  Options effective = options;
-  if (swapped) {
-    work = work.Swapped();
-    // The caller's constraints are stated in their orientation.
-    std::swap(effective.mbet.min_left, effective.mbet.min_right);
-  }
-
-  // Optional (p, q)-core reduction for size-constrained runs.
-  std::vector<VertexId> left_base = IdentityPerm(work.num_left());
-  std::vector<VertexId> right_base = IdentityPerm(work.num_right());
-  const bool mbet_family = options.algorithm == Algorithm::kMbet ||
-                           options.algorithm == Algorithm::kMbetM;
-  if (options.core_reduce && mbet_family &&
-      (effective.mbet.min_left > 1 || effective.mbet.min_right > 1)) {
-    CoreReduction reduced = PqCoreReduce(work, effective.mbet.min_left,
-                                         effective.mbet.min_right);
-    work = std::move(reduced.graph);
-    left_base = std::move(reduced.left_old);
-    right_base = std::move(reduced.right_old);
-  }
-
-  std::vector<VertexId> left_perm = IdentityPerm(work.num_left());
-  if (options.hub_first_left && work.num_left() > 0) {
-    left_perm = HubFirstLeftPerm(work);
-    // Relabel left = swap, relabel right, swap back.
-    work = work.Swapped().RelabelRight(left_perm).Swapped();
-  }
-
-  std::vector<VertexId> right_perm = IdentityPerm(work.num_right());
-  if (options.order != VertexOrder::kNone && work.num_right() > 0) {
-    right_perm = MakeOrder(work, options.order, options.seed);
-    work = work.RelabelRight(right_perm);
-  }
-
-  // Compose the relabelings with the reduction maps (new -> old).
-  std::vector<VertexId> left_map(work.num_left());
-  for (size_t i = 0; i < left_map.size(); ++i) {
-    left_map[i] = left_base[left_perm[i]];
-  }
-  std::vector<VertexId> right_map(work.num_right());
-  for (size_t i = 0; i < right_map.size(); ++i) {
-    right_map[i] = right_base[right_perm[i]];
-  }
-
-  TranslatingSink translator(sink, std::move(left_map), std::move(right_map),
-                             swapped);
-  result.preprocess_seconds = prep_timer.Seconds();
-
-  // Memory budget: scope the process-wide budget to this run. With
-  // max_memory_bytes == 0 the cap and pressure thresholds stay off and
-  // only the (cheap) accounting runs, so results are identical.
-  BudgetScope budget_scope(options.max_memory_bytes);
-  util::MemoryBudget& budget = util::GlobalMemoryBudget();
-  const uint64_t degradations_before = budget.degradations();
-  const uint64_t faults_before =
-      util::FaultRegistry::Global().faults_injected();
-
-  // Run control: one controller shared by every worker of this run,
-  // spliced into the sink chain so emissions count against the result
-  // budget and the stop flag is visible to all existing ShouldStop polls.
-  // Inert control skips the machinery entirely — but a memory cap, a
-  // watchdog, or an armed fault registry needs the controller too (it is
-  // what converts exhaustion/failure into a typed termination).
-  const bool wants_controller =
-      options.control.active() || options.max_memory_bytes > 0 ||
-      options.watchdog_stall_seconds > 0 ||
-      util::FaultRegistry::Global().armed();
-  std::optional<RunController> controller;
-  std::optional<ControlledSink> controlled;
-  ResultSink* run_sink = &translator;
-  RunController* ctrl = nullptr;
-  if (wants_controller) {
-    controller.emplace(options.control);
-    ctrl = &*controller;
-    ctrl->AttachMemoryBudget(&budget);
-    controlled.emplace(&translator, ctrl);
-    run_sink = &*controlled;
-  }
-
-  // --- Enumeration -------------------------------------------------------
-  // Kernel-call attribution: the counters are process-wide (per-thread
-  // blocks summed), so diff a snapshot around the run. Concurrent runs in
-  // one process would bleed into each other's deltas; the facade has no
-  // such callers today and the counters are diagnostics, not invariants.
-  const simd::KernelCallCounters kernel_calls_before =
-      simd::SnapshotKernelCalls();
-  util::WallTimer timer;
-  auto run_enumeration = [&]() {
-    if (options.threads > 1) {
-      ParallelOptions popts;
-      popts.threads = options.threads;
-      popts.scheduling = options.scheduling;
-      popts.controller = ctrl;
-      popts.max_split = options.max_split;
-      popts.watchdog_stall_seconds = options.watchdog_stall_seconds;
-      WorkerFactory factory;
-      if (options.algorithm == Algorithm::kMbet ||
-          options.algorithm == Algorithm::kMbetM) {
-        MbetOptions mopts = effective.mbet;
-        mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
-        factory = [&work, mopts, ctrl]() -> std::unique_ptr<SubtreeWorker> {
-          return std::make_unique<MbetWorker>(work, mopts, ctrl);
-        };
-      } else {
-        factory = [&work, ctrl]() -> std::unique_ptr<SubtreeWorker> {
-          return std::make_unique<ImbeaWorker>(work, ctrl);
-        };
-      }
-      result.stats = ParallelEnumerate(work, factory, popts, run_sink);
-      return;
-    }
-    switch (options.algorithm) {
-      case Algorithm::kMbet:
-      case Algorithm::kMbetM: {
-        MbetOptions mopts = effective.mbet;
-        mopts.recompute_locals = options.algorithm == Algorithm::kMbetM;
-        MbetEnumerator engine(work, mopts);
-        engine.SetRunController(ctrl);
-        engine.EnumerateAll(run_sink);
-        result.stats = engine.stats();
-        break;
-      }
-      case Algorithm::kMineLmbc: {
-        MineLmbcEnumerator engine(work);
-        engine.SetRunController(ctrl);
-        engine.EnumerateAll(run_sink);
-        result.stats = engine.stats();
-        break;
-      }
-      case Algorithm::kMbea: {
-        MbeaEnumerator engine(work, MbeaOptions{.improved = false});
-        engine.SetRunController(ctrl);
-        engine.EnumerateAll(run_sink);
-        result.stats = engine.stats();
-        break;
-      }
-      case Algorithm::kImbea: {
-        MbeaEnumerator engine(work, MbeaOptions{.improved = true});
-        engine.SetRunController(ctrl);
-        engine.EnumerateAll(run_sink);
-        result.stats = engine.stats();
-        break;
-      }
-      case Algorithm::kOombeaLite: {
-        OombeaLiteEnumerator engine(work);
-        engine.SetRunController(ctrl);
-        engine.EnumerateAll(run_sink);
-        result.stats = engine.stats();
-        break;
-      }
-    }
-  };
-  // Containment: an exception escaping the engines (a throwing user sink
-  // in a single-thread run, or a parallel failure the driver rethrew for
-  // lack of a controller) is a component failure, not a crash. With a
-  // controller it becomes Termination::kInternal and the sink keeps its
-  // valid prefix; without one it is reported as a kInternal Status.
-  try {
-    run_enumeration();
-  } catch (const std::exception& e) {
-    if (ctrl == nullptr) {
-      return util::Status::Internal(std::string("enumeration failed: ") +
-                                    e.what());
-    }
-    ctrl->ReportInternal(e.what());
-  } catch (...) {
-    if (ctrl == nullptr) {
-      return util::Status::Internal("enumeration failed: unknown exception");
-    }
-    ctrl->ReportInternal("unknown exception");
-  }
-  result.seconds = timer.Seconds();
-  {
-    const simd::KernelCallCounters after = simd::SnapshotKernelCalls();
-    result.stats.kernel_dispatch =
-        static_cast<uint64_t>(simd::ActiveLevel());
-    result.stats.simd_intersect_calls =
-        after.intersect - kernel_calls_before.intersect;
-    result.stats.simd_difference_calls =
-        after.difference - kernel_calls_before.difference;
-    result.stats.simd_mask_calls = after.mask - kernel_calls_before.mask;
-    result.stats.simd_word_calls = after.word - kernel_calls_before.word;
-  }
-  // Robustness counters: read the budget's peak before BudgetScope
-  // re-baselines it, and diff the process-wide degradation / fault
-  // totals around the run.
-  result.stats.peak_charged_bytes = budget.peak();
-  result.stats.degradations = budget.degradations() - degradations_before;
-  result.stats.faults_injected =
-      util::FaultRegistry::Global().faults_injected() - faults_before;
-  if (ctrl != nullptr) {
-    // The memory latch may have tripped after the last worker checkpoint;
-    // fold it in so short runs still report kMemoryLimit.
-    if (budget.exhausted()) ctrl->RequestStop(Termination::kMemoryLimit);
-    result.termination = ctrl->termination();
-    result.results_emitted = ctrl->results();
-    result.message = ctrl->message();
-  } else {
-    result.termination = Termination::kComplete;
-    result.results_emitted = result.stats.maximal;
-  }
-  if (out_result != nullptr) *out_result = result;
+  PMBE_RETURN_IF_ERROR(session.Run(sink, &result));
+  result.preprocess_seconds = engine.value()->build_seconds();
+  if (out_result != nullptr) *out_result = std::move(result);
   return util::Status::Ok();
-}
-
-RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
-                    ResultSink* sink) {
-  RunResult result;
-  const util::Status status = Enumerate(graph, options, sink, &result);
-  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
-  return result;
 }
 
 uint64_t CountMaximalBicliques(const BipartiteGraph& graph,
                                const Options& options) {
   CountSink sink;
-  Enumerate(graph, options, &sink);
+  const util::Status status = Enumerate(graph, options, &sink, nullptr);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
   return sink.count();
 }
 
@@ -550,6 +113,23 @@ util::Status FindMaximumBiclique(const BipartiteGraph& graph,
   return util::Status::Ok();
 }
 
+#if PMBE_ENABLE_DEPRECATED
+
+Algorithm ParseAlgorithm(const std::string& name) {
+  Algorithm algorithm = Algorithm::kMbet;
+  const util::Status status = ParseAlgorithm(name, &algorithm);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+  return algorithm;
+}
+
+RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
+                    ResultSink* sink) {
+  RunResult result;
+  const util::Status status = Enumerate(graph, options, sink, &result);
+  PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+  return result;
+}
+
 Biclique FindMaximumBiclique(const BipartiteGraph& graph,
                              const Options& options) {
   Biclique best;
@@ -557,5 +137,7 @@ Biclique FindMaximumBiclique(const BipartiteGraph& graph,
   PMBE_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
   return best;
 }
+
+#endif  // PMBE_ENABLE_DEPRECATED
 
 }  // namespace mbe

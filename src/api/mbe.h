@@ -3,6 +3,9 @@
 
 #include <string>
 
+#include "api/engine.h"
+#include "api/options.h"
+#include "api/session.h"
 #include "core/enum_stats.h"
 #include "core/mbet.h"
 #include "core/run_control.h"
@@ -13,11 +16,12 @@
 #include "util/status.h"
 
 /// \file
-/// The library facade: one call that takes an input bipartite graph, an
-/// options struct, and a sink, and runs the full pipeline —
-/// preprocessing (side swap, left hub-first relabeling, right-side
-/// ordering), algorithm selection, optional parallel fan-out — while
-/// translating emitted bicliques back to the caller's original vertex ids.
+/// The one-shot library facade: a single call that takes an input
+/// bipartite graph, an options struct, and a sink, and runs the full
+/// pipeline — preprocessing (side swap, left hub-first relabeling,
+/// right-side ordering), algorithm selection, optional parallel fan-out —
+/// while translating emitted bicliques back to the caller's original
+/// vertex ids.
 ///
 /// Quickstart (recoverable-error form):
 /// ```
@@ -31,39 +35,38 @@
 ///   for (const mbe::Biclique& b : sink.TakeSorted()) { ... }
 /// ```
 ///
-/// Every entry point comes in two forms: a `util::Status`-returning
-/// overload that reports invalid input as a recoverable error, and a thin
-/// legacy shim that aborts on error (kept for callers that treat option
-/// mistakes as programming bugs). Interrupted runs — cancellation,
-/// deadline, budget — are *not* errors: they return OK with
-/// `RunResult::termination` describing why the run stopped, and the sink
-/// holds the valid prefix of results emitted before the stop.
+/// The facade is a thin wrapper over the session-oriented API
+/// (docs/SERVICE.md): each call builds an `mbe::Engine` (the preprocessed
+/// graph) and runs one `mbe::Session` over it. Callers that enumerate the
+/// *same graph* more than once — different thresholds, budgets, or
+/// algorithms, or many concurrent queries — should hold the Engine and
+/// create Sessions directly; the facade re-pays preprocessing on every
+/// call.
+///
+/// Interrupted runs — cancellation, deadline, budget — are *not* errors:
+/// they return OK with `RunResult::termination` describing why the run
+/// stopped, and the sink holds the valid prefix of results emitted before
+/// the stop.
+///
+/// The abort-on-error shims of the pre-session API remain available behind
+/// `PMBE_ENABLE_DEPRECATED` (default on; configure with
+/// `-DPMBE_ENABLE_DEPRECATED=OFF` to hard-remove them). They are marked
+/// `[[deprecated]]` — prefer the `util::Status` overloads, which report
+/// invalid input as a recoverable error.
+
+/// Compile-time gate for the abort-on-error legacy shims. The build
+/// defines it to 0 when the CMake option PMBE_ENABLE_DEPRECATED is OFF.
+#ifndef PMBE_ENABLE_DEPRECATED
+#define PMBE_ENABLE_DEPRECATED 1
+#endif
 
 namespace mbe {
 
-/// Which enumeration algorithm to run.
-enum class Algorithm {
-  kMbet,        ///< prefix-tree enumerator (the paper's contribution)
-  kMbetM,       ///< space-optimized MBET (no stored locals)
-  kMineLmbc,    ///< textbook recursive baseline
-  kMbea,        ///< MBEA (Q-set check, unsorted candidates)
-  kImbea,       ///< iMBEA (Q-set check + candidate ordering)
-  kOombeaLite,  ///< unilateral order + subtree-local iMBEA
-};
-
-/// Parses "mbet", "mbetm", "minelmbc", "mbea", "imbea", "oombea" into
-/// `*algorithm`; returns InvalidArgument (leaving `*algorithm` untouched)
-/// on unknown names.
-util::Status ParseAlgorithm(const std::string& name, Algorithm* algorithm);
-
-/// Legacy shim: parses like the overload above but aborts on unknown
-/// names. Prefer the Status overload for anything user-facing.
-Algorithm ParseAlgorithm(const std::string& name);
-
-/// Stable display name of an algorithm.
-const char* AlgorithmName(Algorithm algorithm);
-
-/// Full configuration of an enumeration run.
+/// Full configuration of a one-shot enumeration run: the flat union of
+/// `GraphOptions` (preprocessing, baked into the Engine) and `RunOptions`
+/// (per-query control), kept field-compatible with the pre-session API.
+/// `graph_options()` / `run_options()` split it into the two halves the
+/// session API consumes.
 struct Options {
   Algorithm algorithm = Algorithm::kMbet;
 
@@ -116,7 +119,8 @@ struct Options {
   /// results; past the cap the run stops with
   /// Termination::kMemoryLimit and the sink holds a valid prefix.
   /// `RunResult::stats.peak_charged_bytes` never exceeds the cap. The
-  /// budget is process-wide: run capped enumerations one at a time.
+  /// budget is **per run** (each call charges its own
+  /// `util::MemoryBudget`): concurrent capped runs do not interfere.
   uint64_t max_memory_bytes = 0;
 
   /// Worker watchdog stall bound in seconds (parallel runs only; 0 =
@@ -126,35 +130,18 @@ struct Options {
   /// off unless task durations are known (see docs/ROBUSTNESS.md).
   double watchdog_stall_seconds = 0;
 
+  /// The preprocessing half: what `Engine::Build` consumes. Core
+  /// reduction is enabled only for the size-filtering MBET family, exactly
+  /// as the one-shot pipeline always behaved.
+  GraphOptions graph_options() const;
+
+  /// The per-query half: what `Session` consumes.
+  RunOptions run_options() const;
+
   /// Checks the options for internal consistency: thread count, parallel
   /// support of the chosen algorithm, size-threshold sanity, run-control
   /// sanity. OK options never make Enumerate abort.
   util::Status Validate() const;
-};
-
-/// Outcome of an Enumerate call.
-struct RunResult {
-  EnumStats stats;      ///< merged enumeration counters
-  double seconds = 0;   ///< wall time of the enumeration phase (excludes
-                        ///< graph preprocessing)
-  double preprocess_seconds = 0;  ///< ordering/relabeling time
-
-  /// Why the run stopped. Anything other than kComplete means the sink
-  /// holds a valid prefix of the full result set (every emitted biclique
-  /// is maximal; some maximal bicliques may be missing).
-  Termination termination = Termination::kComplete;
-
-  /// Bicliques emitted to the caller's sink (equals stats.maximal except
-  /// when a result budget dropped racing emissions in a parallel run).
-  uint64_t results_emitted = 0;
-
-  /// Diagnostic for Termination::kInternal: what failed (the first
-  /// contained exception's message, or the watchdog's report). Empty
-  /// otherwise.
-  std::string message;
-
-  /// Convenience: did the run enumerate the complete result set?
-  bool complete() const { return termination == Termination::kComplete; }
 };
 
 /// Runs the configured enumeration of `graph` into `sink`, filling
@@ -163,15 +150,14 @@ struct RunResult {
 /// without starting the run — when `sink` is null or `options.Validate()`
 /// fails. Interrupted runs (see Options::control) return OK with
 /// `result->termination` set.
+///
+/// Equivalent to `Engine::Build(graph, options.graph_options())` plus one
+/// `Session(engine, options.run_options()).Run(sink, result)`.
 util::Status Enumerate(const BipartiteGraph& graph, const Options& options,
                        ResultSink* sink, RunResult* result);
 
-/// Legacy shim: like the Status overload but aborts on invalid options or
-/// a null sink.
-RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
-                    ResultSink* sink);
-
 /// Convenience: counts the maximal bicliques of `graph` under `options`.
+/// Aborts on invalid options (counting has no error channel).
 uint64_t CountMaximalBicliques(const BipartiteGraph& graph,
                                const Options& options);
 
@@ -191,9 +177,31 @@ util::Status FindMaximumBiclique(const BipartiteGraph& graph,
                                  const Options& options, Biclique* best,
                                  RunResult* result = nullptr);
 
+#if PMBE_ENABLE_DEPRECATED
+
+/// Legacy shim: parses like the Status overload but aborts on unknown
+/// names.
+[[deprecated(
+    "aborts on unknown names; use ParseAlgorithm(name, &algorithm), which "
+    "returns util::Status")]]
+Algorithm ParseAlgorithm(const std::string& name);
+
+/// Legacy shim: like the Status overload but aborts on invalid options or
+/// a null sink.
+[[deprecated(
+    "aborts on invalid options; use Enumerate(graph, options, sink, "
+    "&result), which returns util::Status")]]
+RunResult Enumerate(const BipartiteGraph& graph, const Options& options,
+                    ResultSink* sink);
+
 /// Legacy shim: aborts on invalid options.
+[[deprecated(
+    "aborts on invalid options; use FindMaximumBiclique(graph, options, "
+    "&best, &result), which returns util::Status")]]
 Biclique FindMaximumBiclique(const BipartiteGraph& graph,
                              const Options& options);
+
+#endif  // PMBE_ENABLE_DEPRECATED
 
 }  // namespace mbe
 

@@ -1,0 +1,192 @@
+#ifndef PMBE_API_SESSION_H_
+#define PMBE_API_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "api/engine.h"
+#include "api/options.h"
+#include "core/run_control.h"
+#include "core/sink.h"
+#include "parallel/parallel_mbe.h"
+#include "util/memory.h"
+
+/// \file
+/// `mbe::Session` — one enumeration query over a shared `mbe::Engine`
+/// (docs/SERVICE.md).
+///
+/// A session owns everything that is per-query: the `RunOptions`, a
+/// cancellation handle, a `RunController` (deadline / result / node
+/// budgets), its **own `util::MemoryBudget` instance** (so one tenant
+/// hitting its memory cap degrades and stops only its own run), and the
+/// sink chain that translates emitted bicliques back to original ids and
+/// counts them against the result budget. Any number of sessions run
+/// concurrently over one engine.
+///
+/// Two execution modes:
+///  * `Run(sink)` — standalone: the session drives the enumeration itself,
+///    spawning `options.threads` workers through the parallel driver (or
+///    running inline when threads == 1). This is what the one-shot
+///    `mbe::Enumerate` facade wraps.
+///  * cooperative — a shared scheduler (serve/session_pool.h) calls
+///    `Prepare()`, executes the session's subtree tasks on its own
+///    workers (`MakeWorker` / `run_sink`), and calls `Finish()`. The
+///    session still owns control, budget, and accounting; only the
+///    threads are shared.
+
+namespace mbe {
+
+/// Outcome of an enumeration run.
+struct RunResult {
+  EnumStats stats;      ///< merged enumeration counters
+  double seconds = 0;   ///< wall time of the enumeration phase (excludes
+                        ///< graph preprocessing)
+  double preprocess_seconds = 0;  ///< ordering/relabeling time (engine
+                                  ///< build; 0 when the engine was reused)
+
+  /// Why the run stopped. Anything other than kComplete means the sink
+  /// holds a valid prefix of the full result set (every emitted biclique
+  /// is maximal; some maximal bicliques may be missing).
+  Termination termination = Termination::kComplete;
+
+  /// Bicliques emitted to the caller's sink (equals stats.maximal except
+  /// when a result budget dropped racing emissions in a parallel run).
+  uint64_t results_emitted = 0;
+
+  /// Diagnostic for Termination::kInternal: what failed (the first
+  /// contained exception's message, or the watchdog's report). Empty
+  /// otherwise.
+  std::string message;
+
+  /// Id of the session that produced this result (0 for one-shot facade
+  /// runs).
+  uint64_t session_id = 0;
+
+  /// Convenience: did the run enumerate the complete result set?
+  bool complete() const { return termination == Termination::kComplete; }
+};
+
+class Session {
+ public:
+  /// Binds the session to `engine` with `options`. `id` tags the session's
+  /// budget, stats, and result for multi-tenant accounting.
+  Session(std::shared_ptr<const Engine> engine, RunOptions options,
+          uint64_t id = 0);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs the enumeration into `sink`, blocking until it completes or a
+  /// control trips, filling `*result` (which may be null). Returns
+  /// InvalidArgument — without starting — when `sink` is null, the options
+  /// fail Validate(), or the query is looser than the engine's baked core
+  /// reduction. Interrupted runs are OK with `result->termination` set.
+  /// A session runs once; a second Run returns FailedPrecondition-style
+  /// InvalidArgument.
+  util::Status Run(ResultSink* sink, RunResult* result = nullptr);
+
+  /// Requests cooperative cancellation. Thread-safe, callable at any time
+  /// from any thread (including before Run); the run stops at the next
+  /// poll with Termination::kCancelled.
+  void Cancel();
+
+  uint64_t id() const { return id_; }
+  const Engine& engine() const { return *engine_; }
+  const RunOptions& options() const { return options_; }
+
+  /// The session's private memory budget (serve-side accounting reads
+  /// charged()/peak() live).
+  util::MemoryBudget& budget() { return budget_; }
+
+  // --- Cooperative execution (shared scheduler) --------------------------
+  // The scheduler calls Prepare once, then executes `task_count()` subtree
+  // tasks through workers it creates with MakeWorker (one per scheduler
+  // thread, reused across this session's tasks), emitting into run_sink().
+  // Every worker's allocations must happen under a ScopedBudgetBinding of
+  // this session's budget(). After the last task retires the scheduler
+  // reports each worker's stats() via AddWorkerStats and calls Finish.
+
+  /// Validates and builds the run state (controller, budget, sink chain).
+  /// Cooperative mode always creates a controller, so cancellation,
+  /// deadline, memory containment, and exception containment work per
+  /// session even with inert RunControl.
+  util::Status Prepare(ResultSink* sink);
+
+  /// Subtree tasks of this run: one per right vertex of the engine graph
+  /// for subtree-decomposable algorithms, 1 (whole-graph) otherwise.
+  size_t task_count() const;
+
+  /// True when task v is the whole graph rather than one subtree (non
+  /// subtree-decomposable algorithm; the scheduler must not split it).
+  bool monolithic() const { return monolithic_; }
+
+  /// Fresh single-threaded worker over the shared engine graph, attached
+  /// to this session's controller. Thread-compatible: one per scheduler
+  /// thread.
+  std::unique_ptr<SubtreeWorker> MakeWorker() const;
+
+  /// The session's sink chain (translation + run control). Thread-safe.
+  ResultSink* run_sink();
+
+  /// The session's controller (valid after Prepare until destruction).
+  RunController* controller();
+
+  /// Folds one worker's counters into the session result (thread-safe).
+  void AddWorkerStats(const EnumStats& stats);
+
+  /// Finalizes accounting (termination, budget peak, wall time) into
+  /// `*result` (may be null). Call exactly once, after all tasks retired
+  /// and all worker stats were added.
+  void Finish(RunResult* result);
+
+ private:
+  util::Status ValidateAgainstEngine() const;
+
+  /// Shared Prepare body. Standalone Run keeps the legacy
+  /// controller-on-demand behavior (an uncontrolled run reports a throwing
+  /// sink as an Internal *status*); cooperative callers force the
+  /// controller.
+  util::Status PrepareImpl(ResultSink* sink, bool force_controller);
+
+  const uint64_t id_;
+  std::shared_ptr<const Engine> engine_;
+  RunOptions options_;
+
+  util::MemoryBudget budget_;
+
+  /// Cancel-before-Run latch and the live controller for Cancel().
+  std::atomic<bool> pre_cancelled_{false};
+  std::atomic<RunController*> live_controller_{nullptr};
+
+  /// Run state between Prepare and Finish.
+  bool prepared_ = false;
+  bool finished_ = false;
+  bool monolithic_ = false;
+  std::optional<RunController> controller_;
+  std::unique_ptr<ResultSink> translator_;
+  std::optional<ControlledSink> controlled_;
+  ResultSink* run_sink_ = nullptr;
+  MbetOptions effective_mbet_;  ///< thresholds swapped into engine space
+
+  /// Accounting snapshots taken in Prepare, diffed in Finish.
+  uint64_t degradations_before_ = 0;
+  uint64_t faults_before_ = 0;
+  uint64_t kernel_intersect_before_ = 0;
+  uint64_t kernel_difference_before_ = 0;
+  uint64_t kernel_mask_before_ = 0;
+  uint64_t kernel_word_before_ = 0;
+
+  /// Merged worker counters (guarded by stats_mu_).
+  std::mutex stats_mu_;
+  EnumStats stats_;
+
+  util::WallTimer timer_;
+};
+
+}  // namespace mbe
+
+#endif  // PMBE_API_SESSION_H_

@@ -33,7 +33,7 @@ EnumContext::~EnumContext() {
 
 void EnumContext::ReleaseBudget(uint64_t freed) {
   const uint64_t r = freed < budget_charged_ ? freed : budget_charged_;
-  if (r > 0) util::GlobalMemoryBudget().Release(r);
+  if (r > 0) util::CurrentMemoryBudget().Release(r);
   budget_charged_ -= r;
 }
 
@@ -71,9 +71,9 @@ void EnumContext::RewindPool(Pool<T>* pool, size_t to) {
       // "arena.grow" models this growth allocation failing: the budget
       // latches exhaustion exactly as if the charge had been declined.
       if (PMBE_FAULT("arena.grow")) {
-        util::GlobalMemoryBudget().ForceExhaust();
+        util::CurrentMemoryBudget().ForceExhaust();
       }
-      if (util::GlobalMemoryBudget().TryCharge(delta)) {
+      if (util::CurrentMemoryBudget().TryCharge(delta)) {
         budget_charged_ += delta;
       }
       pool->bytes[i] = now;

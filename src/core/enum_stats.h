@@ -91,6 +91,10 @@ struct EnumStats {
   uint64_t peak_charged_bytes = 0;
   /// Heartbeat sweeps performed by the worker watchdog monitor.
   uint64_t watchdog_checks = 0;
+  /// Time the run spent admitted-but-waiting before its first task ran on
+  /// a shared scheduler (serve/session_pool.h), in nanoseconds. 0 for
+  /// standalone runs.
+  uint64_t queue_wait_ns = 0;
 
   void MergeFrom(const EnumStats& other) {
     nodes_expanded += other.nodes_expanded;
@@ -125,6 +129,7 @@ struct EnumStats {
       peak_charged_bytes = other.peak_charged_bytes;
     }
     watchdog_checks += other.watchdog_checks;
+    queue_wait_ns += other.queue_wait_ns;
   }
 };
 

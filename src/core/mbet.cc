@@ -392,12 +392,12 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
     for (const Group& g : lvl.groups) cand_groups += g.forbidden ? 0 : 1;
     if (cand_groups >= options_.trie_min_groups) {
       // "trie.build" models the trie arena failing to allocate.
-      if (PMBE_FAULT("trie.build")) util::GlobalMemoryBudget().ForceExhaust();
-      if (util::GlobalMemoryBudget().UnderPressure() ||
-          util::GlobalMemoryBudget().exhausted()) {
+      if (PMBE_FAULT("trie.build")) util::CurrentMemoryBudget().ForceExhaust();
+      if (util::CurrentMemoryBudget().UnderPressure() ||
+          util::CurrentMemoryBudget().exhausted()) {
         // Degrade: classification falls back to per-candidate scans —
         // slower, identical results, no trie arena.
-        util::GlobalMemoryBudget().NoteDegradation();
+        util::CurrentMemoryBudget().NoteDegradation();
       } else {
         lvl.lists.clear();
         lvl.lists.reserve(lvl.groups.size());
@@ -423,11 +423,11 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
         options_.bitmap_density * static_cast<double>(local_universe_) *
             static_cast<double>(lvl.groups.size())) {
       // "bitmap.build" models the word arrays failing to allocate.
-      if (PMBE_FAULT("bitmap.build")) util::GlobalMemoryBudget().ForceExhaust();
-      if (util::GlobalMemoryBudget().UnderPressure() ||
-          util::GlobalMemoryBudget().exhausted()) {
+      if (PMBE_FAULT("bitmap.build")) util::CurrentMemoryBudget().ForceExhaust();
+      if (util::CurrentMemoryBudget().UnderPressure() ||
+          util::CurrentMemoryBudget().exhausted()) {
         // Degrade: stay on sorted lists — slower kernels, same results.
-        util::GlobalMemoryBudget().NoteDegradation();
+        util::CurrentMemoryBudget().NoteDegradation();
       } else {
         const size_t words = util::WordsFor(local_universe_);
         lvl.loc_words = frame.AcquireWords();
@@ -450,7 +450,7 @@ void MbetEnumerator::Recurse(size_t depth, ResultSink* sink) {
   // tracker and the hard memory budget for the duration of its subtree.
   // RAII: an exception unwinding through the subtree (throwing sink,
   // injected fault) must return the charge too.
-  const util::ScopedCharge node_charge(util::GlobalMemoryBudget(),
+  const util::ScopedCharge node_charge(util::CurrentMemoryBudget(),
                                        options_.memory, LevelBytes(lvl));
 
   // Candidate traversal order: ascending local size (small locals first is

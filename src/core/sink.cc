@@ -149,7 +149,7 @@ BufferedSink::~BufferedSink() {
     // destructor. Drain paths that need to observe the failure call
     // Flush() explicitly before destruction.
   }
-  if (budget_charged_ > 0) util::GlobalMemoryBudget().Release(budget_charged_);
+  if (budget_charged_ > 0) util::CurrentMemoryBudget().Release(budget_charged_);
 }
 
 void BufferedSink::Emit(std::span<const VertexId> left,
@@ -160,20 +160,20 @@ void BufferedSink::Emit(std::span<const VertexId> left,
   if (cap > capacity_bytes_) {
     const uint64_t delta = cap - capacity_bytes_;
     // "sink.buffer" models this arena growth failing to allocate.
-    if (PMBE_FAULT("sink.buffer")) util::GlobalMemoryBudget().ForceExhaust();
-    if (util::GlobalMemoryBudget().TryCharge(delta)) budget_charged_ += delta;
+    if (PMBE_FAULT("sink.buffer")) util::CurrentMemoryBudget().ForceExhaust();
+    if (util::CurrentMemoryBudget().TryCharge(delta)) budget_charged_ += delta;
     capacity_bytes_ = cap;
   }
   size_t flush_results = max_results_;
   size_t flush_bytes = max_bytes_;
-  if (util::GlobalMemoryBudget().UnderPressure()) {
+  if (util::CurrentMemoryBudget().UnderPressure()) {
     // Degrade: flush at a quarter of the thresholds so buffered bytes
     // shrink under pressure. More synchronization, same results.
     flush_results = std::max<size_t>(1, max_results_ / 4);
     flush_bytes = std::max<size_t>(1, max_bytes_ / 4);
     if (!degraded_) {
       degraded_ = true;
-      util::GlobalMemoryBudget().NoteDegradation();
+      util::CurrentMemoryBudget().NoteDegradation();
     }
   }
   if (batch_.size() >= flush_results || batch_.bytes() >= flush_bytes) Flush();

@@ -44,8 +44,8 @@ struct VertexSetPolicy {
     // Under memory pressure the dense representation is declined outright:
     // sorted lists hold `size` ids while a bitmap holds the whole universe
     // (docs/ROBUSTNESS.md). Slower kernels, identical results.
-    if (util::GlobalMemoryBudget().UnderPressure()) {
-      util::GlobalMemoryBudget().NoteDegradation();
+    if (util::CurrentMemoryBudget().UnderPressure()) {
+      util::CurrentMemoryBudget().NoteDegradation();
       return false;
     }
     if (bitmap_density <= 0.0) return true;

@@ -116,6 +116,9 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
   std::vector<std::unique_ptr<BufferedSink>> buffers(workers);
 
   auto worker_main = [&](unsigned w) {
+    // Attribute every allocation this worker makes to the run's budget
+    // (worker threads are fresh and carry no binding of their own).
+    util::ScopedBudgetBinding budget_binding(options.budget);
     heartbeats[w].store(NowNs(), std::memory_order_relaxed);
     try {
       engines[w] = factory();
@@ -155,10 +158,10 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
             std::this_thread::sleep_for(std::chrono::milliseconds(200));
           }
           if (task.num_shards == 1 && max_split > 1) {
-            if (util::GlobalMemoryBudget().UnderPressure()) {
+            if (util::CurrentMemoryBudget().UnderPressure()) {
               // Degrade: decline the split — every shard re-pays the
               // subtree's root build, multiplying live state.
-              util::GlobalMemoryBudget().NoteDegradation();
+              util::CurrentMemoryBudget().NoteDegradation();
             } else {
               // Split at pickup: unconditionally above the configured work
               // bar, and at a quarter of it while any thief is starving.
@@ -330,6 +333,10 @@ EnumStats RunThreadPool(const BipartiteGraph& graph,
   pool.ParallelFor(
       graph.num_right(), options.scheduling,
       [&](uint64_t v, unsigned worker_id) {
+        // Attribute this task's allocations to the run's budget (pool
+        // threads carry no binding; the store/restore pair is two
+        // thread-local writes per subtree, noise next to the subtree).
+        util::ScopedBudgetBinding budget_binding(options.budget);
         // Drain the remaining index space without enumerating once any
         // worker trips the shared stop flag or fails.
         if ((options.controller != nullptr &&

@@ -86,6 +86,13 @@ struct ParallelOptions {
   /// for attaching the same controller to each worker engine it builds.
   RunController* controller = nullptr;
 
+  /// The run's memory budget. Workers bind it to their thread
+  /// (util::ScopedBudgetBinding) so every charging site inside the
+  /// enumeration attributes to this run — not to whatever another
+  /// concurrent session bound elsewhere. nullptr binds the process
+  /// default.
+  util::MemoryBudget* budget = nullptr;
+
   /// Maximum shards a heavy subtree is split into (kStealing only; 1
   /// disables splitting). Bounded by kMaxTaskShards.
   uint32_t max_split = 8;

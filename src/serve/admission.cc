@@ -1,0 +1,75 @@
+#include "serve/admission.h"
+
+#include <chrono>
+
+namespace mbe::serve {
+
+AdmissionController::Ticket AdmissionController::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) {
+    return Ticket{.admitted = false, .reason = RejectReason::kDraining};
+  }
+  // Immediate admission only when nobody is ahead of us — a free slot with
+  // a non-empty queue belongs to the head waiter.
+  if (active_ < max_active_ && queued_ == 0) {
+    ++active_;
+    return Ticket{.admitted = true};
+  }
+  if (queued_ >= max_queued_) {
+    return Ticket{.admitted = false,
+                  .reason = RejectReason::kTooManySessions};
+  }
+  const uint64_t my_ticket = next_ticket_++;
+  ++queued_;
+  const auto enqueue_time = std::chrono::steady_clock::now();
+  cv_.wait(lock, [&] {
+    return draining_ || (serving_ == my_ticket && active_ < max_active_);
+  });
+  --queued_;
+  if (draining_) {
+    // Keep serving_ moving so waiters behind us (all also draining) make
+    // their predicates true in order; with notify_all it is moot, but
+    // cheap.
+    if (serving_ == my_ticket) ++serving_;
+    cv_.notify_all();
+    return Ticket{.admitted = false, .reason = RejectReason::kDraining};
+  }
+  ++serving_;
+  ++active_;
+  const auto wait = std::chrono::steady_clock::now() - enqueue_time;
+  cv_.notify_all();  // the next ticket holder may also have a free slot
+  return Ticket{
+      .admitted = true,
+      .queue_wait_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+              .count())};
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_ > 0) --active_;
+  cv_.notify_all();
+}
+
+void AdmissionController::StartDraining() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+  cv_.notify_all();
+}
+
+bool AdmissionController::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+size_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace mbe::serve

@@ -1,0 +1,72 @@
+#ifndef PMBE_SERVE_ADMISSION_H_
+#define PMBE_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/wire.h"
+
+/// \file
+/// `serve::AdmissionController` — bounds how many sessions run at once.
+///
+/// Up to `max_active` sessions hold a slot; up to `max_queued` more wait in
+/// strict FIFO order (ticket-numbered, so a released slot always goes to
+/// the longest waiter, never to a lucky newcomer). Anything beyond that is
+/// rejected immediately with a typed reason — the caller turns it into a
+/// kRejected wire frame instead of letting latency pile up invisibly.
+/// `StartDraining` flips the controller into shutdown mode: every queued
+/// waiter wakes with kDraining and new arrivals are rejected, while already
+/// admitted sessions keep their slots until they Release.
+
+namespace mbe::serve {
+
+class AdmissionController {
+ public:
+  AdmissionController(size_t max_active, size_t max_queued)
+      : max_active_(max_active), max_queued_(max_queued) {}
+
+  /// Outcome of one admission attempt.
+  struct Ticket {
+    bool admitted = false;
+    /// Meaningful when !admitted.
+    RejectReason reason = RejectReason::kTooManySessions;
+    /// Time spent queued before the slot was granted (0 on immediate
+    /// admission and on rejection).
+    uint64_t queue_wait_ns = 0;
+  };
+
+  /// Acquires a slot, blocking in the FIFO queue when all slots are taken.
+  /// Returns a rejection without blocking when the queue is full or the
+  /// controller is draining.
+  Ticket Acquire();
+
+  /// Returns a previously acquired slot and hands it to the head waiter.
+  void Release();
+
+  /// Rejects all queued and future Acquire calls with kDraining. Active
+  /// sessions are unaffected.
+  void StartDraining();
+
+  bool draining() const;
+  size_t active() const;
+  size_t queued() const;
+
+ private:
+  const size_t max_active_;
+  const size_t max_queued_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t active_ = 0;
+  size_t queued_ = 0;
+  /// FIFO tickets: a waiter is admitted only when it holds the serving
+  /// ticket *and* a slot is free.
+  uint64_t next_ticket_ = 0;
+  uint64_t serving_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace mbe::serve
+
+#endif  // PMBE_SERVE_ADMISSION_H_

@@ -1,0 +1,39 @@
+#include "serve/registry.h"
+
+#include <mutex>
+#include <utility>
+
+namespace mbe::serve {
+
+void GraphRegistry::Put(const std::string& name,
+                        std::shared_ptr<const Engine> engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  engines_[name] = std::move(engine);
+}
+
+std::shared_ptr<const Engine> GraphRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = engines_.find(name);
+  return it == engines_.end() ? nullptr : it->second;
+}
+
+bool GraphRegistry::Erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.erase(name) > 0;
+}
+
+std::vector<std::string> GraphRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(engines_.size());
+  for (const auto& [name, engine] : engines_) names.push_back(name);
+  return names;
+}
+
+size_t GraphRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return engines_.size();
+}
+
+}  // namespace mbe::serve

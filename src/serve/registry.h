@@ -1,0 +1,45 @@
+#ifndef PMBE_SERVE_REGISTRY_H_
+#define PMBE_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+
+/// \file
+/// `serve::GraphRegistry` — the load-once graph store of a serving
+/// process. Clients (or the server's preload flags) build an `mbe::Engine`
+/// per graph; every session after that shares the immutable engine by
+/// `shared_ptr<const Engine>`, so replacing or dropping a graph never
+/// invalidates in-flight sessions — they keep their reference until they
+/// retire.
+
+namespace mbe::serve {
+
+class GraphRegistry {
+ public:
+  /// Registers `engine` under `name`, replacing any previous engine with
+  /// that name (in-flight sessions keep the old one alive).
+  void Put(const std::string& name, std::shared_ptr<const Engine> engine);
+
+  /// The engine registered under `name`, or nullptr.
+  std::shared_ptr<const Engine> Get(const std::string& name) const;
+
+  /// Drops `name`; returns whether it existed.
+  bool Erase(const std::string& name);
+
+  /// Registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const Engine>> engines_;
+};
+
+}  // namespace mbe::serve
+
+#endif  // PMBE_SERVE_REGISTRY_H_

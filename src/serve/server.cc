@@ -1,0 +1,530 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "graph/bipartite_graph.h"
+#include "graph/ordering.h"
+
+namespace mbe::serve {
+
+// Internal-but-external-linkage helpers (members of Server::Connection
+// must not be anonymous-namespace types, or every use trips GCC's
+// -Wsubobject-linkage).
+namespace internal {
+
+/// Thread-safe ResultSink that turns the (already id-translated) emissions
+/// of one session into kResultBatch frames. Shared by all pool workers of
+/// the session through their per-worker BufferedSinks, so emissions arrive
+/// mostly as batches. A failed write latches the sink: further emissions
+/// are dropped and ShouldStop() turns true, stopping the enumeration
+/// instead of computing results nobody can receive.
+class WireSink : public ResultSink {
+ public:
+  /// `write` must be thread-safe and return false on connection failure.
+  using WriteFn = std::function<bool(Message&&)>;
+
+  WireSink(WriteFn write, uint64_t session_id, uint32_t batch_results)
+      : write_(std::move(write)), batch_results_(batch_results) {
+    pending_.session_id = session_id;
+  }
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;
+    pending_.batch.Append(left, right);
+    if (pending_.batch.size() >= batch_results_) FlushLocked();
+  }
+
+  void EmitBatch(const BicliqueBatch& batch) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (failed_) return;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      pending_.batch.Append(batch.left(i), batch.right(i));
+    }
+    if (pending_.batch.size() >= batch_results_) FlushLocked();
+  }
+
+  bool ShouldStop() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failed_;
+  }
+
+  /// Sends the final partial batch; call before the kSessionDone frame.
+  void Flush() {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlushLocked();
+  }
+
+ private:
+  void FlushLocked() {
+    if (failed_ || pending_.batch.size() == 0) return;
+    const uint64_t session_id = pending_.session_id;
+    if (!write_(Message(std::move(pending_)))) failed_ = true;
+    pending_ = ResultBatchMsg{};
+    pending_.session_id = session_id;
+  }
+
+  WriteFn write_;
+  const uint32_t batch_results_;
+  mutable std::mutex mu_;
+  ResultBatchMsg pending_;
+  bool failed_ = false;
+};
+
+/// One in-flight (or admission-queued) session of a connection.
+struct SessionRec {
+  std::shared_ptr<Session> session;
+  std::unique_ptr<WireSink> sink;
+};
+
+}  // namespace internal
+
+struct Server::Connection {
+  int fd = -1;
+  std::atomic<bool> dead{false};
+  std::atomic<bool> finished{false};
+  std::thread reader;
+
+  /// Serializes frames from the reader, the session starters, and every
+  /// pool worker flushing result batches; each frame is written whole.
+  std::mutex write_mu;
+
+  std::mutex sessions_mu;
+  std::map<uint64_t, std::shared_ptr<internal::SessionRec>> sessions;
+  /// Helper threads waiting out admission; only the reader appends, and
+  /// only the reader's exit path joins.
+  std::vector<std::thread> starters;
+
+  ~Connection() {
+    if (reader.joinable()) reader.join();
+    if (fd >= 0) ::close(fd);
+  }
+
+  /// Encodes and writes one frame. On failure the connection goes dead:
+  /// every session is cancelled (their results have nowhere to go).
+  bool WriteFrame(const Message& message) {
+    std::vector<uint8_t> frame;
+    if (!EncodeMessage(message, &frame).ok()) {
+      Abandon();
+      return false;
+    }
+    bool sent = false;
+    {
+      std::lock_guard<std::mutex> lock(write_mu);
+      if (!dead.load(std::memory_order_acquire)) {
+        size_t off = 0;
+        while (off < frame.size()) {
+          const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                                   MSG_NOSIGNAL);
+          if (n < 0 && errno == EINTR) continue;
+          if (n <= 0) break;
+          off += static_cast<size_t>(n);
+        }
+        sent = off == frame.size();
+      }
+    }
+    if (!sent) Abandon();
+    return sent;
+  }
+
+  /// Marks the connection dead and cancels all of its sessions. Idempotent.
+  void Abandon() {
+    dead.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(sessions_mu);
+    for (auto& [id, rec] : sessions) rec->session->Cancel();
+  }
+
+  /// Unblocks the reader (recv returns) without invalidating the fd —
+  /// writers may still hold it; the destructor closes.
+  void Close() {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      pool_threads_(0),
+      admission_(std::max<size_t>(1, options_.max_active_sessions),
+                 options_.max_queued_sessions) {}
+
+Server::~Server() { Stop(); }
+
+util::Status Server::Start() {
+  pool_threads_ = options_.pool_threads != 0
+                      ? options_.pool_threads
+                      : std::max(1u, std::thread::hardware_concurrency());
+  pool_ = std::make_unique<SessionPool>(pool_threads_);
+
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return util::Status::InvalidArgument("unix socket path too long: " +
+                                           options_.unix_path);
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return util::Status::IoError(std::string("socket: ") +
+                                   std::strerror(errno));
+    }
+    ::unlink(options_.unix_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return util::Status::IoError("bind(" + options_.unix_path +
+                                   "): " + std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return util::Status::IoError(std::string("socket: ") +
+                                   std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    // Loopback only: the protocol carries no authentication.
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      return util::Status::IoError(
+          "bind(127.0.0.1:" + std::to_string(options_.tcp_port) +
+          "): " + std::strerror(errno));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return util::Status::IoError(std::string("listen: ") +
+                                 std::strerror(errno));
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return util::Status::Ok();
+}
+
+void Server::BeginDrain() { admission_.StartDraining(); }
+
+bool Server::idle() const {
+  return admission_.active() == 0 && admission_.queued() == 0;
+}
+
+void Server::Stop() {
+  if (stopping_.exchange(true)) return;
+  // Drain first: queued session starters wake with kDraining, so joining
+  // the readers below (which join the starters) cannot deadlock.
+  BeginDrain();
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    conn->Abandon();
+    conn->Close();
+  }
+  for (auto& conn : connections) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+  // Every submitted session finishes here (cancelled ones as no-op
+  // sweeps); done callbacks write to the now-dead connections harmlessly.
+  if (pool_ != nullptr) pool_->Shutdown();
+  connections.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // Stop() shut the listener down (or it broke)
+    }
+    if (stopping_.load()) {
+      ::close(client_fd);
+      return;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = client_fd;
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      // Reap connections whose reader already finished, so a long-lived
+      // daemon doesn't accumulate one shell per past client.
+      std::erase_if(connections_,
+                    [](const std::shared_ptr<Connection>& old) {
+                      if (!old->finished.load()) return false;
+                      if (old->reader.joinable()) old->reader.join();
+                      return true;
+                    });
+      connections_.push_back(conn);
+      conn->reader = std::thread([this, conn] { ConnectionLoop(conn); });
+    }
+  }
+}
+
+void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> buffer;
+  std::array<uint8_t, 4096> chunk;
+  bool keep_going = !stopping_.load();
+  while (keep_going) {
+    // Drain every complete frame currently buffered.
+    size_t consumed = 0;
+    while (keep_going) {
+      std::span<const uint8_t> rest(buffer.data() + consumed,
+                                    buffer.size() - consumed);
+      size_t frame_size = 0;
+      bool complete = false;
+      if (util::Status status = PeekFrame(rest, &frame_size, &complete);
+          !status.ok()) {
+        conn->WriteFrame(ErrorMsg{status.ToString()});
+        keep_going = false;
+        break;
+      }
+      if (!complete) break;
+      util::StatusOr<Message> decoded =
+          DecodeMessage(rest.subspan(0, frame_size));
+      consumed += frame_size;
+      if (!decoded.ok()) {
+        conn->WriteFrame(ErrorMsg{decoded.status().ToString()});
+        keep_going = false;
+        break;
+      }
+      if (!HandleMessage(conn, std::move(decoded).value())) {
+        keep_going = false;
+        break;
+      }
+    }
+    buffer.erase(buffer.begin(),
+                 buffer.begin() + static_cast<ptrdiff_t>(consumed));
+    if (!keep_going) break;
+    const ssize_t n = ::recv(conn->fd, chunk.data(), chunk.size(), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or connection error
+    buffer.insert(buffer.end(), chunk.data(), chunk.data() + n);
+  }
+  // Sessions past this point have no one to read them.
+  conn->Abandon();
+  std::vector<std::thread> starters;
+  {
+    std::lock_guard<std::mutex> lock(conn->sessions_mu);
+    starters.swap(conn->starters);
+  }
+  for (std::thread& starter : starters) {
+    if (starter.joinable()) starter.join();
+  }
+  // Half-close so the peer sees EOF after any final frame (the kError
+  // path exits this loop with the socket otherwise still open). Already
+  // buffered outbound frames still reach the peer; late WriteFrame calls
+  // are no-ops via the dead latch.
+  conn->Close();
+  conn->finished.store(true);
+}
+
+bool Server::HandleMessage(const std::shared_ptr<Connection>& conn,
+                           Message message) {
+  if (auto* hello = std::get_if<HelloMsg>(&message)) {
+    if (hello->version != kProtocolVersion) {
+      conn->WriteFrame(ErrorMsg{"unsupported protocol version " +
+                                std::to_string(hello->version)});
+      return false;
+    }
+    conn->WriteFrame(
+        HelloOkMsg{kProtocolVersion, kMaxPayloadBytes, pool_threads_});
+    return true;
+  }
+  if (auto* load = std::get_if<LoadGraphMsg>(&message)) {
+    HandleLoadGraph(conn, std::move(*load));
+    return !conn->dead.load();
+  }
+  if (auto* start = std::get_if<StartSessionMsg>(&message)) {
+    StartSession(conn, std::move(*start));
+    return true;
+  }
+  if (auto* cancel = std::get_if<CancelSessionMsg>(&message)) {
+    std::lock_guard<std::mutex> lock(conn->sessions_mu);
+    auto it = conn->sessions.find(cancel->session_id);
+    // Unknown ids are ignored: the session may have just finished (its
+    // kSessionDone frame is racing this cancel) — both are fine.
+    if (it != conn->sessions.end()) it->second->session->Cancel();
+    return true;
+  }
+  // Server-to-client types bounced back (or a future message type):
+  // protocol violation.
+  conn->WriteFrame(ErrorMsg{"unexpected message type"});
+  return false;
+}
+
+void Server::HandleLoadGraph(const std::shared_ptr<Connection>& conn,
+                             LoadGraphMsg msg) {
+  auto fail = [&](const std::string& detail) {
+    conn->WriteFrame(ErrorMsg{"load '" + msg.name + "': " + detail});
+    conn->Abandon();
+  };
+  if (msg.order > static_cast<uint8_t>(VertexOrder::kRandom)) {
+    fail("unknown vertex order " + std::to_string(msg.order));
+    return;
+  }
+  std::vector<Edge> edges(msg.edge_left.size());
+  for (size_t i = 0; i < edges.size(); ++i) {
+    edges[i] = Edge{msg.edge_left[i], msg.edge_right[i]};
+  }
+  util::StatusOr<BipartiteGraph> graph = BipartiteGraph::FromEdgesChecked(
+      msg.num_left, msg.num_right, std::move(edges));
+  if (!graph.ok()) {
+    fail(graph.status().ToString());
+    return;
+  }
+  GraphOptions gopts;
+  gopts.order = static_cast<VertexOrder>(msg.order);
+  gopts.hub_first_left = msg.hub_first_left;
+  gopts.auto_swap_sides = msg.auto_swap_sides;
+  gopts.core_reduce = msg.core_reduce;
+  gopts.min_left = msg.min_left;
+  gopts.min_right = msg.min_right;
+  gopts.seed = msg.seed;
+  if (util::Status status = gopts.Validate(); !status.ok()) {
+    fail(status.ToString());
+    return;
+  }
+  auto engine = Engine::Build(std::move(graph).value(), gopts);
+  if (!engine.ok()) {
+    fail(engine.status().ToString());
+    return;
+  }
+  LoadOkMsg ok;
+  ok.name = msg.name;
+  ok.num_left = static_cast<uint32_t>(engine.value()->original_num_left());
+  ok.num_right = static_cast<uint32_t>(engine.value()->original_num_right());
+  // Edges retained after dedup and core reduction — what sessions will
+  // actually enumerate over.
+  ok.num_edges = engine.value()->graph().num_edges();
+  ok.build_seconds = engine.value()->build_seconds();
+  registry_.Put(msg.name, std::move(engine).value());
+  conn->WriteFrame(ok);
+}
+
+void Server::StartSession(const std::shared_ptr<Connection>& conn,
+                          StartSessionMsg msg) {
+  auto reject = [&](RejectReason reason, const std::string& detail) {
+    conn->WriteFrame(
+        RejectedMsg{static_cast<uint8_t>(reason),
+                    std::string(RejectReasonName(reason)) +
+                        (detail.empty() ? "" : ": " + detail)});
+  };
+  if (msg.algorithm > static_cast<uint8_t>(Algorithm::kOombeaLite)) {
+    reject(RejectReason::kBadOptions,
+           "unknown algorithm " + std::to_string(msg.algorithm));
+    return;
+  }
+  std::shared_ptr<const Engine> engine = registry_.Get(msg.graph);
+  if (engine == nullptr) {
+    reject(RejectReason::kUnknownGraph, "'" + msg.graph + "'");
+    return;
+  }
+  RunOptions opts;
+  opts.algorithm = static_cast<Algorithm>(msg.algorithm);
+  opts.threads = 1;  // the shared pool brings the execution threads
+  opts.mbet.min_left = msg.min_left;
+  opts.mbet.min_right = msg.min_right;
+  opts.control.max_results = msg.max_results;
+  opts.control.max_nodes_expanded = msg.max_nodes_expanded;
+  opts.control.deadline_seconds = msg.deadline_seconds;
+  opts.max_memory_bytes = msg.max_memory_bytes;
+  if (util::Status status = opts.Validate(); !status.ok()) {
+    reject(RejectReason::kBadOptions, status.ToString());
+    return;
+  }
+
+  const uint64_t session_id = next_session_id_.fetch_add(1);
+  const uint32_t batch_results = std::clamp<uint32_t>(msg.batch_results, 1,
+                                                      4096);
+  auto rec = std::make_shared<internal::SessionRec>();
+  rec->session =
+      std::make_shared<Session>(std::move(engine), std::move(opts),
+                                session_id);
+  rec->sink = std::make_unique<internal::WireSink>(
+      [conn](Message&& frame) { return conn->WriteFrame(frame); },
+      session_id, batch_results);
+
+  // Register before the starter runs so kCancelSession reaches the
+  // session even while it waits in the admission queue (Cancel before
+  // Prepare is a supported latch).
+  std::lock_guard<std::mutex> lock(conn->sessions_mu);
+  conn->sessions[session_id] = rec;
+  conn->starters.emplace_back([this, conn, rec, session_id] {
+    auto drop = [&] {
+      std::lock_guard<std::mutex> inner(conn->sessions_mu);
+      conn->sessions.erase(session_id);
+    };
+    const AdmissionController::Ticket ticket = admission_.Acquire();
+    if (!ticket.admitted) {
+      conn->WriteFrame(
+          RejectedMsg{static_cast<uint8_t>(ticket.reason),
+                      RejectReasonName(ticket.reason)});
+      drop();
+      return;
+    }
+    if (ticket.queue_wait_ns > 0) {
+      EnumStats wait_stats;
+      wait_stats.queue_wait_ns = ticket.queue_wait_ns;
+      rec->session->AddWorkerStats(wait_stats);
+    }
+    if (util::Status status = rec->session->Prepare(rec->sink.get());
+        !status.ok()) {
+      admission_.Release();
+      conn->WriteFrame(RejectedMsg{
+          static_cast<uint8_t>(RejectReason::kBadOptions),
+          status.ToString()});
+      drop();
+      return;
+    }
+    conn->WriteFrame(SessionStartedMsg{session_id});
+    pool_->Submit(rec->session, [this, conn, rec,
+                                 session_id](const RunResult& result) {
+      rec->sink->Flush();  // final partial batch precedes kSessionDone
+      SessionDoneMsg done;
+      done.session_id = session_id;
+      done.termination = static_cast<uint8_t>(result.termination);
+      done.results_emitted = result.results_emitted;
+      done.maximal = result.stats.maximal;
+      done.nodes_expanded = result.stats.nodes_expanded;
+      done.peak_charged_bytes = result.stats.peak_charged_bytes;
+      done.queue_wait_ns = result.stats.queue_wait_ns;
+      done.seconds = result.seconds;
+      done.message = result.message;
+      conn->WriteFrame(done);
+      {
+        std::lock_guard<std::mutex> inner(conn->sessions_mu);
+        conn->sessions.erase(session_id);
+      }
+      admission_.Release();
+    });
+  });
+}
+
+}  // namespace mbe::serve

@@ -1,0 +1,120 @@
+#ifndef PMBE_SERVE_SERVER_H_
+#define PMBE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/registry.h"
+#include "serve/session_pool.h"
+#include "serve/wire.h"
+
+/// \file
+/// `serve::Server` — the pmbe_serve daemon core (docs/SERVICE.md).
+///
+/// Listens on a Unix-domain socket or a loopback TCP port, speaks the
+/// serve/wire.h protocol, and multiplexes any number of client connections
+/// onto one `GraphRegistry` (graphs load once, every session shares the
+/// immutable engine) and one `SessionPool` (a fixed worker fleet executing
+/// all sessions' subtree tasks round-robin). `AdmissionController` bounds
+/// concurrency: past `max_active_sessions` running + `max_queued_sessions`
+/// waiting, new sessions get a typed kRejected frame instead of latency.
+///
+/// Per-connection: one reader thread; session starts wait for admission on
+/// short-lived helper threads so the reader keeps servicing kCancelSession
+/// frames while a start is queued. Results stream back as kResultBatch
+/// frames written under one per-connection write mutex (frames from
+/// concurrent sessions interleave, each frame is atomic).
+///
+/// Shutdown is a drain (SIGTERM handling lives in tools/pmbe_serve.cc):
+/// `BeginDrain` rejects new sessions with kDraining while running ones
+/// finish; once `idle()`, `Stop` closes the listener and every connection
+/// and joins all threads.
+
+namespace mbe::serve {
+
+struct ServerOptions {
+  /// Non-empty: listen on this Unix-domain socket path (unlinked first).
+  std::string unix_path;
+  /// Unix path empty: listen on 127.0.0.1:tcp_port (0 = ephemeral; read
+  /// the bound port back with tcp_port()).
+  uint16_t tcp_port = 0;
+
+  /// Session-pool worker threads (0 = hardware concurrency).
+  unsigned pool_threads = 0;
+
+  /// Admission bounds: sessions running / waiting before kRejected.
+  size_t max_active_sessions = 8;
+  size_t max_queued_sessions = 64;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+
+  /// Stop()s.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop and the session pool.
+  util::Status Start();
+
+  /// The bound TCP port (after Start, TCP mode only).
+  uint16_t tcp_port() const { return bound_tcp_port_; }
+
+  /// The graph store; use it to preload graphs before Start.
+  GraphRegistry& registry() { return registry_; }
+
+  unsigned pool_threads() const { return pool_threads_; }
+
+  /// Starts rejecting new sessions (kDraining) while running and queued
+  /// ones finish. Connections stay open.
+  void BeginDrain();
+
+  /// True when no session is running or queued.
+  bool idle() const;
+
+  /// Full shutdown: BeginDrain, close the listener and every connection,
+  /// join all threads, drain the pool. Idempotent.
+  void Stop();
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  /// Dispatches one decoded frame; returns false to close the connection.
+  bool HandleMessage(const std::shared_ptr<Connection>& conn,
+                     Message message);
+  void StartSession(const std::shared_ptr<Connection>& conn,
+                    StartSessionMsg msg);
+  void HandleLoadGraph(const std::shared_ptr<Connection>& conn,
+                       LoadGraphMsg msg);
+
+  const ServerOptions options_;
+  unsigned pool_threads_;
+
+  GraphRegistry registry_;
+  AdmissionController admission_;
+  std::unique_ptr<SessionPool> pool_;
+
+  int listen_fd_ = -1;
+  uint16_t bound_tcp_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+
+  std::mutex connections_mu_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+
+  std::atomic<uint64_t> next_session_id_{1};
+};
+
+}  // namespace mbe::serve
+
+#endif  // PMBE_SERVE_SERVER_H_

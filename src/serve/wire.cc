@@ -1,0 +1,426 @@
+#include "serve/wire.h"
+
+#include <cstring>
+
+namespace mbe::serve {
+
+namespace {
+
+/// Little-endian primitive writer appending to a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
+
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_->push_back((v >> (8 * i)) & 0xff);
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_->push_back((v >> (8 * i)) & 0xff);
+  }
+  void F64(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_->insert(out_->end(), s.begin(), s.end());
+  }
+  void Ids(std::span<const VertexId> ids) {
+    for (VertexId id : ids) U32(id);
+  }
+
+ private:
+  std::vector<uint8_t>* out_;
+};
+
+/// Bounds-checked little-endian reader. Overruns latch the error flag and
+/// return zeros; callers check ok() once at the end instead of per field.
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  uint8_t U8() {
+    if (!Need(1)) return 0;
+    return bytes_[pos_++];
+  }
+  /// Strict bool: only 0 and 1 are valid encodings. Anything else would
+  /// decode to a message that re-encodes differently, breaking the
+  /// canonical-encoding guarantee the fuzzer relies on.
+  bool Bool() {
+    const uint8_t v = U8();
+    if (v > 1) ok_ = false;
+    return v != 0;
+  }
+  uint32_t U32() {
+    if (!Need(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (!Need(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t{bytes_[pos_ + i]} << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  double F64() {
+    const uint64_t bits = U64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string Str(size_t max_bytes) {
+    const uint32_t n = U32();
+    if (n > max_bytes || !Need(n)) {
+      ok_ = false;
+      return "";
+    }
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  /// Reads `count` ids, each strictly below `bound` (bound 0 skips the
+  /// range check — used where the bound is carried elsewhere).
+  std::vector<VertexId> Ids(size_t count, uint32_t bound) {
+    std::vector<VertexId> ids;
+    if (!Need(count * 4)) return ids;
+    ids.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t v = U32();
+      if (bound != 0 && v >= bound) {
+        ok_ = false;
+        return ids;
+      }
+      ids.push_back(v);
+    }
+    return ids;
+  }
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return ok_ && pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || bytes_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void EncodePayload(const HelloMsg& m, Writer& w) { w.U32(m.version); }
+
+void EncodePayload(const HelloOkMsg& m, Writer& w) {
+  w.U32(m.version);
+  w.U32(m.max_payload);
+  w.U32(m.pool_threads);
+}
+
+void EncodePayload(const LoadGraphMsg& m, Writer& w) {
+  w.Str(m.name);
+  w.U32(m.num_left);
+  w.U32(m.num_right);
+  w.U8(m.order);
+  w.U8(m.hub_first_left ? 1 : 0);
+  w.U8(m.auto_swap_sides ? 1 : 0);
+  w.U8(m.core_reduce ? 1 : 0);
+  w.U32(m.min_left);
+  w.U32(m.min_right);
+  w.U64(m.seed);
+  w.U64(m.edge_left.size());
+  w.Ids(m.edge_left);
+  w.Ids(m.edge_right);
+}
+
+void EncodePayload(const LoadOkMsg& m, Writer& w) {
+  w.Str(m.name);
+  w.U32(m.num_left);
+  w.U32(m.num_right);
+  w.U64(m.num_edges);
+  w.F64(m.build_seconds);
+}
+
+void EncodePayload(const StartSessionMsg& m, Writer& w) {
+  w.Str(m.graph);
+  w.U8(m.algorithm);
+  w.U32(m.min_left);
+  w.U32(m.min_right);
+  w.U64(m.max_results);
+  w.U64(m.max_nodes_expanded);
+  w.F64(m.deadline_seconds);
+  w.U64(m.max_memory_bytes);
+  w.U32(m.batch_results);
+}
+
+void EncodePayload(const SessionStartedMsg& m, Writer& w) {
+  w.U64(m.session_id);
+}
+
+void EncodePayload(const CancelSessionMsg& m, Writer& w) {
+  w.U64(m.session_id);
+}
+
+void EncodePayload(const ResultBatchMsg& m, Writer& w) {
+  w.U64(m.session_id);
+  w.U32(static_cast<uint32_t>(m.batch.size()));
+  for (size_t i = 0; i < m.batch.size(); ++i) {
+    const auto left = m.batch.left(i);
+    const auto right = m.batch.right(i);
+    w.U32(static_cast<uint32_t>(left.size()));
+    w.U32(static_cast<uint32_t>(right.size()));
+    w.Ids(left);
+    w.Ids(right);
+  }
+}
+
+void EncodePayload(const SessionDoneMsg& m, Writer& w) {
+  w.U64(m.session_id);
+  w.U8(m.termination);
+  w.U64(m.results_emitted);
+  w.U64(m.maximal);
+  w.U64(m.nodes_expanded);
+  w.U64(m.peak_charged_bytes);
+  w.U64(m.queue_wait_ns);
+  w.F64(m.seconds);
+  w.Str(m.message);
+}
+
+void EncodePayload(const RejectedMsg& m, Writer& w) {
+  w.U8(m.reason);
+  w.Str(m.detail);
+}
+
+void EncodePayload(const ErrorMsg& m, Writer& w) { w.Str(m.detail); }
+
+util::StatusOr<Message> DecodePayload(MsgType type, Reader& r) {
+  switch (type) {
+    case MsgType::kHello: {
+      HelloMsg m;
+      m.version = r.U32();
+      return Message{m};
+    }
+    case MsgType::kHelloOk: {
+      HelloOkMsg m;
+      m.version = r.U32();
+      m.max_payload = r.U32();
+      m.pool_threads = r.U32();
+      return Message{m};
+    }
+    case MsgType::kLoadGraph: {
+      LoadGraphMsg m;
+      m.name = r.Str(kMaxNameBytes);
+      m.num_left = r.U32();
+      m.num_right = r.U32();
+      m.order = r.U8();
+      m.hub_first_left = r.Bool();
+      m.auto_swap_sides = r.Bool();
+      m.core_reduce = r.Bool();
+      m.min_left = r.U32();
+      m.min_right = r.U32();
+      m.seed = r.U64();
+      const uint64_t edges = r.U64();
+      // Each edge is two u32 ids: an honest count fills the remaining
+      // payload exactly, so a corrupt count cannot drive a giant reserve.
+      if (!r.ok() || r.remaining() % 8 != 0 || edges != r.remaining() / 8) {
+        return util::Status::CorruptData("kLoadGraph: edge count mismatch");
+      }
+      if (edges > 0 && (m.num_left == 0 || m.num_right == 0)) {
+        return util::Status::CorruptData("kLoadGraph: edges on an empty side");
+      }
+      m.edge_left = r.Ids(edges, m.num_left);
+      m.edge_right = r.Ids(edges, m.num_right);
+      if (!r.ok()) {
+        return util::Status::CorruptData("kLoadGraph: edge id out of range");
+      }
+      return Message{std::move(m)};
+    }
+    case MsgType::kLoadOk: {
+      LoadOkMsg m;
+      m.name = r.Str(kMaxNameBytes);
+      m.num_left = r.U32();
+      m.num_right = r.U32();
+      m.num_edges = r.U64();
+      m.build_seconds = r.F64();
+      return Message{std::move(m)};
+    }
+    case MsgType::kStartSession: {
+      StartSessionMsg m;
+      m.graph = r.Str(kMaxNameBytes);
+      m.algorithm = r.U8();
+      m.min_left = r.U32();
+      m.min_right = r.U32();
+      m.max_results = r.U64();
+      m.max_nodes_expanded = r.U64();
+      m.deadline_seconds = r.F64();
+      m.max_memory_bytes = r.U64();
+      m.batch_results = r.U32();
+      return Message{std::move(m)};
+    }
+    case MsgType::kSessionStarted: {
+      SessionStartedMsg m;
+      m.session_id = r.U64();
+      return Message{m};
+    }
+    case MsgType::kCancelSession: {
+      CancelSessionMsg m;
+      m.session_id = r.U64();
+      return Message{m};
+    }
+    case MsgType::kResultBatch: {
+      ResultBatchMsg m;
+      m.session_id = r.U64();
+      const uint32_t count = r.U32();
+      for (uint32_t i = 0; r.ok() && i < count; ++i) {
+        const uint32_t l_len = r.U32();
+        const uint32_t r_len = r.U32();
+        // Both sides must fit in the remaining bytes before any reserve.
+        if (!r.ok() ||
+            uint64_t{l_len} * 4 + uint64_t{r_len} * 4 > r.remaining()) {
+          return util::Status::CorruptData(
+              "kResultBatch: entry length mismatch");
+        }
+        const std::vector<VertexId> left = r.Ids(l_len, 0);
+        const std::vector<VertexId> right = r.Ids(r_len, 0);
+        if (!r.ok()) break;
+        m.batch.Append(left, right);
+      }
+      if (!r.ok()) {
+        return util::Status::CorruptData("kResultBatch: truncated entries");
+      }
+      return Message{std::move(m)};
+    }
+    case MsgType::kSessionDone: {
+      SessionDoneMsg m;
+      m.session_id = r.U64();
+      m.termination = r.U8();
+      m.results_emitted = r.U64();
+      m.maximal = r.U64();
+      m.nodes_expanded = r.U64();
+      m.peak_charged_bytes = r.U64();
+      m.queue_wait_ns = r.U64();
+      m.seconds = r.F64();
+      m.message = r.Str(kMaxPayloadBytes);
+      return Message{std::move(m)};
+    }
+    case MsgType::kRejected: {
+      RejectedMsg m;
+      m.reason = r.U8();
+      m.detail = r.Str(kMaxPayloadBytes);
+      return Message{std::move(m)};
+    }
+    case MsgType::kError: {
+      ErrorMsg m;
+      m.detail = r.Str(kMaxPayloadBytes);
+      return Message{std::move(m)};
+    }
+  }
+  return util::Status::InvalidArgument(
+      "unknown message type " + std::to_string(static_cast<int>(type)));
+}
+
+}  // namespace
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kTooManySessions:
+      return "too-many-sessions";
+    case RejectReason::kDraining:
+      return "draining";
+    case RejectReason::kUnknownGraph:
+      return "unknown-graph";
+    case RejectReason::kBadOptions:
+      return "bad-options";
+  }
+  return "?";
+}
+
+MsgType TypeOf(const Message& message) {
+  struct Visitor {
+    MsgType operator()(const HelloMsg&) { return MsgType::kHello; }
+    MsgType operator()(const HelloOkMsg&) { return MsgType::kHelloOk; }
+    MsgType operator()(const LoadGraphMsg&) { return MsgType::kLoadGraph; }
+    MsgType operator()(const LoadOkMsg&) { return MsgType::kLoadOk; }
+    MsgType operator()(const StartSessionMsg&) {
+      return MsgType::kStartSession;
+    }
+    MsgType operator()(const SessionStartedMsg&) {
+      return MsgType::kSessionStarted;
+    }
+    MsgType operator()(const CancelSessionMsg&) {
+      return MsgType::kCancelSession;
+    }
+    MsgType operator()(const ResultBatchMsg&) { return MsgType::kResultBatch; }
+    MsgType operator()(const SessionDoneMsg&) { return MsgType::kSessionDone; }
+    MsgType operator()(const RejectedMsg&) { return MsgType::kRejected; }
+    MsgType operator()(const ErrorMsg&) { return MsgType::kError; }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+util::Status EncodeMessage(const Message& message, std::vector<uint8_t>* out) {
+  PMBE_CHECK(out != nullptr);
+  std::vector<uint8_t> payload;
+  Writer w(&payload);
+  std::visit([&w](const auto& m) { EncodePayload(m, w); }, message);
+  if (payload.size() > kMaxPayloadBytes) {
+    return util::Status::InvalidArgument(
+        "payload exceeds kMaxPayloadBytes (" +
+        std::to_string(payload.size()) + " bytes)");
+  }
+  Writer header(out);
+  header.U32(static_cast<uint32_t>(payload.size()));
+  header.U8(static_cast<uint8_t>(TypeOf(message)));
+  out->insert(out->end(), payload.begin(), payload.end());
+  return util::Status::Ok();
+}
+
+util::Status PeekFrame(std::span<const uint8_t> buffer, size_t* frame_size,
+                       bool* complete) {
+  PMBE_CHECK(frame_size != nullptr && complete != nullptr);
+  *complete = false;
+  *frame_size = 0;
+  if (buffer.size() < kFrameHeaderBytes) return util::Status::Ok();
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= uint32_t{buffer[i]} << (8 * i);
+  if (len > kMaxPayloadBytes) {
+    return util::Status::CorruptData(
+        "frame header claims " + std::to_string(len) +
+        " payload bytes (max " + std::to_string(kMaxPayloadBytes) + ")");
+  }
+  *frame_size = kFrameHeaderBytes + len;
+  *complete = buffer.size() >= *frame_size;
+  return util::Status::Ok();
+}
+
+util::StatusOr<Message> DecodeMessage(std::span<const uint8_t> frame) {
+  size_t frame_size = 0;
+  bool complete = false;
+  PMBE_RETURN_IF_ERROR(PeekFrame(frame, &frame_size, &complete));
+  if (!complete || frame.size() != frame_size) {
+    return util::Status::CorruptData(
+        "frame is " + std::to_string(frame.size()) + " bytes, header wants " +
+        std::to_string(frame_size));
+  }
+  const uint8_t type = frame[4];
+  Reader r(frame.subspan(kFrameHeaderBytes));
+  util::StatusOr<Message> decoded =
+      DecodePayload(static_cast<MsgType>(type), r);
+  PMBE_RETURN_IF_ERROR(decoded.status());
+  if (!r.AtEnd()) {
+    return util::Status::CorruptData("payload has trailing or missing bytes");
+  }
+  return decoded;
+}
+
+}  // namespace mbe::serve

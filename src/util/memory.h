@@ -74,9 +74,15 @@ MemoryTracker& GlobalMemoryTracker();
 /// 0 disables both thresholds; accounting still runs so `peak()` is always
 /// meaningful.
 ///
-/// Thread-safe; one process-wide instance (`GlobalMemoryBudget()`) is
-/// shared by all workers of a run, configured per run by the API facade
-/// (`Options::max_memory_bytes`).
+/// Thread-safe. Each run (a `mbe::Session`, or one legacy `Enumerate`
+/// call) owns its own budget instance and *binds* it to every thread that
+/// enumerates on the run's behalf (`ScopedBudgetBinding`); charging sites
+/// reach the binding through `CurrentMemoryBudget()`. Attribution is
+/// therefore per run: one session exhausting its cap degrades and stops
+/// only itself, while a neighbor session's budget — a different instance —
+/// is untouched. Threads with no binding fall back to the process-wide
+/// instance (`ProcessMemoryBudget()`), preserving the old behavior for
+/// code outside any session.
 class MemoryBudget {
  public:
   /// Fraction of the hard cap at which degradation starts.
@@ -158,6 +164,15 @@ class MemoryBudget {
   }
   uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
 
+  /// Diagnostic tag: the session the budget accounts for (0 = untagged /
+  /// process-wide). Surfaced in serve-side accounting and error messages.
+  void set_session_id(uint64_t id) {
+    session_id_.store(id, std::memory_order_relaxed);
+  }
+  uint64_t session_id() const {
+    return session_id_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<uint64_t> hard_cap_{0};
   std::atomic<uint64_t> soft_cap_{0};
@@ -165,10 +180,45 @@ class MemoryBudget {
   std::atomic<uint64_t> peak_{0};
   std::atomic<bool> exhausted_{false};
   std::atomic<uint64_t> degradations_{0};
+  std::atomic<uint64_t> session_id_{0};
 };
 
-/// The process-wide budget every charging site uses.
-MemoryBudget& GlobalMemoryBudget();
+/// The process-wide default budget: what `CurrentMemoryBudget()` resolves
+/// to on threads with no binding. Unlimited unless someone calls BeginRun
+/// on it (the legacy single-run flow no longer does — each run brings its
+/// own instance).
+MemoryBudget& ProcessMemoryBudget();
+
+/// The budget bound to the calling thread by the innermost live
+/// ScopedBudgetBinding, or ProcessMemoryBudget() when none is bound. This
+/// is the instance every charging site (arena growth, node state, sink
+/// buffers) accounts into — one thread-local load, safe on any thread.
+MemoryBudget& CurrentMemoryBudget();
+
+/// Binds `budget` to the calling thread for the binding's lifetime
+/// (nullptr re-binds the process default). A run binds its budget on every
+/// thread that allocates on its behalf: the session thread around the
+/// whole run, and each parallel worker around its main loop. Bindings
+/// nest; destruction restores the previous binding. Charges and releases
+/// must pair up under the same binding — the library guarantees this by
+/// scoping every charging object (engine scratch, sink buffers) inside the
+/// bound region.
+class ScopedBudgetBinding {
+ public:
+  explicit ScopedBudgetBinding(MemoryBudget* budget);
+  ~ScopedBudgetBinding();
+  ScopedBudgetBinding(const ScopedBudgetBinding&) = delete;
+  ScopedBudgetBinding& operator=(const ScopedBudgetBinding&) = delete;
+
+ private:
+  MemoryBudget* previous_;
+};
+
+/// Deprecated name of the pre-session process-wide accessor. Charging
+/// sites now resolve the thread's bound budget; use CurrentMemoryBudget()
+/// (or ProcessMemoryBudget() for the true global).
+[[deprecated("use CurrentMemoryBudget() / ProcessMemoryBudget()")]]
+inline MemoryBudget& GlobalMemoryBudget() { return CurrentMemoryBudget(); }
 
 /// RAII charge: charges `bytes` to `budget` (and `tracker`, if given) on
 /// construction and returns them on destruction. The release must be

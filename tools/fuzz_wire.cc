@@ -1,0 +1,194 @@
+// fuzz_wire — fuzz harness for the pmbe_serve wire protocol codec.
+//
+// Feeds arbitrary bytes to the frame decoder (serve/wire.h). The codec's
+// contract under hostile input: DecodeMessage and PeekFrame return a typed
+// Status — never crash, never abort, never allocate proportionally to a
+// corrupt length claim — and any frame they do accept must round-trip:
+// EncodeMessage(DecodeMessage(frame)) reproduces the input byte for byte
+// (canonical encoding, the property the digest-identity tests lean on).
+//
+// Built under -DPMBE_BUILD_FUZZERS=ON. With `-fsanitize=fuzzer` (clang)
+// this is a libFuzzer target:
+//
+//   ./fuzz_wire corpus/ -max_len=4096
+//
+// Otherwise (gcc) it falls back to a standalone driver mirroring
+// fuzz_graph_io: replay file arguments, then run a deterministic
+// seed-corpus + random-mutation loop, so CI always has this leg.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "serve/wire.h"
+
+namespace {
+
+void CheckRoundTrip(std::span<const uint8_t> input,
+                    const mbe::serve::Message& message) {
+  std::vector<uint8_t> reencoded;
+  if (!mbe::serve::EncodeMessage(message, &reencoded).ok()) {
+    std::fprintf(stderr, "decoded frame failed to re-encode\n");
+    __builtin_trap();
+  }
+  if (reencoded.size() != input.size() ||
+      std::memcmp(reencoded.data(), input.data(), input.size()) != 0) {
+    std::fprintf(stderr, "non-canonical frame survived decoding\n");
+    __builtin_trap();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> input(data, size);
+  // The stream framer must classify any prefix without crashing.
+  size_t frame_size = 0;
+  bool complete = false;
+  (void)mbe::serve::PeekFrame(input, &frame_size, &complete);
+  if (auto decoded = mbe::serve::DecodeMessage(input); decoded.ok()) {
+    CheckRoundTrip(input, decoded.value());
+  }
+  return 0;
+}
+
+#if defined(PMBE_FUZZ_STANDALONE)
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/random.h"
+
+namespace {
+
+/// Seed corpus: one valid frame per message type (mutations then explore
+/// every decoder from the accepting boundary), plus framing edge cases.
+std::vector<std::vector<uint8_t>> BuildSeeds() {
+  using namespace mbe::serve;
+  std::vector<Message> messages;
+  messages.push_back(HelloMsg{});
+  messages.push_back(HelloOkMsg{kProtocolVersion, kMaxPayloadBytes, 4});
+  LoadGraphMsg load;
+  load.name = "g";
+  load.num_left = 3;
+  load.num_right = 2;
+  load.edge_left = {0, 1, 2};
+  load.edge_right = {0, 1, 1};
+  messages.push_back(load);
+  LoadOkMsg load_ok;
+  load_ok.name = "g";
+  load_ok.num_left = 3;
+  load_ok.num_right = 2;
+  load_ok.num_edges = 3;
+  load_ok.build_seconds = 0.25;
+  messages.push_back(load_ok);
+  StartSessionMsg start;
+  start.graph = "g";
+  start.min_left = 2;
+  start.deadline_seconds = 1.5;
+  messages.push_back(start);
+  messages.push_back(SessionStartedMsg{7});
+  messages.push_back(CancelSessionMsg{7});
+  ResultBatchMsg batch;
+  batch.session_id = 7;
+  const mbe::VertexId l[] = {0, 2};
+  const mbe::VertexId r[] = {1};
+  batch.batch.Append(l, r);
+  messages.push_back(batch);
+  SessionDoneMsg done;
+  done.session_id = 7;
+  done.termination = 1;
+  done.results_emitted = 42;
+  done.seconds = 0.125;
+  done.message = "cancelled";
+  messages.push_back(done);
+  messages.push_back(RejectedMsg{2, "draining"});
+  messages.push_back(ErrorMsg{"bad frame"});
+
+  std::vector<std::vector<uint8_t>> seeds;
+  for (const Message& message : messages) {
+    std::vector<uint8_t> frame;
+    if (!EncodeMessage(message, &frame).ok()) {
+      std::fprintf(stderr, "seed frame failed to encode\n");
+      __builtin_trap();
+    }
+    seeds.push_back(std::move(frame));
+  }
+  seeds.push_back({});                          // empty input
+  seeds.push_back({0x00});                      // truncated header
+  seeds.push_back({0xff, 0xff, 0xff, 0xff, 1});  // oversized length claim
+  return seeds;
+}
+
+int ReplayFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;
+    if (int rc = ReplayFile(argv[i]); rc != 0) return rc;
+    ++replayed;
+  }
+  if (replayed > 0) {
+    std::printf("replayed %d corpus inputs, no crashes\n", replayed);
+  }
+  const std::vector<std::vector<uint8_t>> seeds = BuildSeeds();
+  // Every pristine seed must decode and round-trip (the trap in
+  // CheckRoundTrip enforces canonical encoding on the happy path too).
+  for (const auto& seed : seeds) {
+    LLVMFuzzerTestOneInput(seed.data(), seed.size());
+  }
+  constexpr int kIterations = 50000;
+  mbe::util::Rng rng(0x9e3779b97f4a7c15ULL);
+  for (int iter = 0; iter < kIterations; ++iter) {
+    std::vector<uint8_t> bytes = seeds[rng.Below(seeds.size())];
+    const uint64_t mutations = 1 + rng.Below(8);
+    for (uint64_t m = 0; m < mutations; ++m) {
+      switch (rng.Below(4)) {
+        case 0:  // insert
+          bytes.insert(bytes.begin() + rng.Below(bytes.size() + 1),
+                       static_cast<uint8_t>(rng.Below(256)));
+          break;
+        case 1:  // overwrite
+          if (!bytes.empty()) {
+            bytes[rng.Below(bytes.size())] =
+                static_cast<uint8_t>(rng.Below(256));
+          }
+          break;
+        case 2:  // truncate
+          if (!bytes.empty()) {
+            bytes.resize(rng.Below(bytes.size()));
+          }
+          break;
+        default:  // delete one byte
+          if (!bytes.empty()) {
+            bytes.erase(bytes.begin() + rng.Below(bytes.size()));
+          }
+          break;
+      }
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  std::printf("fuzzed %d mutated frames over %zu seeds, no crashes\n",
+              kIterations, seeds.size());
+  return 0;
+}
+
+#endif  // PMBE_FUZZ_STANDALONE

@@ -1,0 +1,416 @@
+// pmbe_load — load generator and correctness client for pmbe_serve.
+//
+// Connects to a running daemon, uploads a synthetic dataset (gen/registry),
+// keeps `--concurrent` enumeration sessions in flight until `--sessions`
+// have completed, and reports client-observed latency percentiles (send ->
+// kSessionDone, including admission queueing). With --verify (default) it
+// first enumerates the same graph locally and checks every completed
+// remote session's order-independent result fingerprint against the local
+// one — any cross-session corruption on the server shows up as a digest
+// mismatch.
+//
+//   pmbe_serve --unix=/tmp/pmbe.sock --max-active=64 &
+//   pmbe_load --unix=/tmp/pmbe.sock --sessions=128 --concurrent=64
+//       --out=bench/BENCH_serve.json
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/mbe.h"
+#include "gen/registry.h"
+#include "serve/wire.h"
+#include "util/flags.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+/// Minimal blocking wire client: one socket, buffered frame reads.
+class WireClient {
+ public:
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool ConnectUnix(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    return fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                 sizeof(addr)) == 0;
+  }
+
+  bool ConnectTcp(uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    return fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                                 sizeof(addr)) == 0;
+  }
+
+  bool Send(const mbe::serve::Message& message) {
+    std::vector<uint8_t> frame;
+    if (!mbe::serve::EncodeMessage(message, &frame).ok()) return false;
+    size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Blocks until one complete frame is available and decodes it.
+  mbe::util::StatusOr<mbe::serve::Message> Read() {
+    for (;;) {
+      size_t frame_size = 0;
+      bool complete = false;
+      if (mbe::util::Status status = mbe::serve::PeekFrame(
+              std::span<const uint8_t>(buffer_), &frame_size, &complete);
+          !status.ok()) {
+        return status;
+      }
+      if (complete) {
+        auto decoded = mbe::serve::DecodeMessage(
+            std::span<const uint8_t>(buffer_.data(), frame_size));
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<ptrdiff_t>(frame_size));
+        return decoded;
+      }
+      uint8_t chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        return mbe::util::Status::IoError("connection closed by server");
+      }
+      buffer_.insert(buffer_.end(), chunk, chunk + n);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::vector<uint8_t> buffer_;
+};
+
+struct SessionTracker {
+  mbe::FingerprintSink fingerprint;
+  Clock::time_point started_at;
+};
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbe::util::FlagParser flags;
+  flags.AddString("unix", "", "daemon unix socket path");
+  flags.AddInt("port", 0, "daemon TCP port (when --unix is empty)");
+  flags.AddString("graph", "Mti", "synthetic dataset name (gen/registry)");
+  flags.AddDouble("scale", 1.0, "dataset scale factor in (0, 1]");
+  flags.AddString("algorithm", "mbet", "enumeration algorithm");
+  flags.AddInt("min-left", 1, "biclique size threshold (left)");
+  flags.AddInt("min-right", 1, "biclique size threshold (right)");
+  flags.AddInt("sessions", 64, "total sessions to run");
+  flags.AddInt("concurrent", 64, "sessions kept in flight");
+  flags.AddInt("max-results", 0, "per-session result budget (0 = none)");
+  flags.AddDouble("deadline", 0, "per-session deadline seconds (0 = none)");
+  flags.AddInt("max-memory", 0, "per-session memory cap bytes (0 = none)");
+  flags.AddInt("batch", 128, "bicliques per kResultBatch frame");
+  flags.AddBool("verify", true,
+                "check every complete session's fingerprint against a "
+                "local run");
+  flags.AddString("out", "", "write a JSON latency report here");
+  flags.Parse(argc, argv);
+
+  mbe::Algorithm algorithm = mbe::Algorithm::kMbet;
+  if (auto status =
+          mbe::ParseAlgorithm(flags.GetString("algorithm"), &algorithm);
+      !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  const uint32_t min_left = static_cast<uint32_t>(flags.GetInt("min-left"));
+  const uint32_t min_right =
+      static_cast<uint32_t>(flags.GetInt("min-right"));
+  const int total_sessions = static_cast<int>(flags.GetInt("sessions"));
+  const int concurrent =
+      std::max(1, static_cast<int>(flags.GetInt("concurrent")));
+  const bool verify = flags.GetBool("verify");
+
+  const mbe::gen::DatasetSpec& spec =
+      mbe::gen::FindDataset(flags.GetString("graph"));
+  const mbe::BipartiteGraph graph =
+      mbe::gen::Materialize(spec, flags.GetDouble("scale"));
+  std::printf("dataset %s: %s\n", spec.name.c_str(),
+              graph.Summary().c_str());
+
+  // Local reference fingerprint (same options the sessions will run).
+  uint64_t want_digest = 0;
+  uint64_t want_count = 0;
+  if (verify) {
+    mbe::Options local;
+    local.algorithm = algorithm;
+    local.mbet.min_left = min_left;
+    local.mbet.min_right = min_right;
+    mbe::FingerprintSink reference;
+    mbe::RunResult run;
+    if (auto status = mbe::Enumerate(graph, local, &reference, &run);
+        !status.ok() || !run.complete()) {
+      std::fprintf(stderr, "local reference run failed\n");
+      return 1;
+    }
+    want_digest = reference.Digest();
+    want_count = reference.count();
+    std::printf("local reference: %llu bicliques, digest %016llx\n",
+                static_cast<unsigned long long>(want_count),
+                static_cast<unsigned long long>(want_digest));
+  }
+
+  WireClient client;
+  const std::string unix_path = flags.GetString("unix");
+  if (!unix_path.empty() ? !client.ConnectUnix(unix_path)
+                         : !client.ConnectTcp(static_cast<uint16_t>(
+                               flags.GetInt("port")))) {
+    std::fprintf(stderr, "cannot connect to the daemon\n");
+    return 1;
+  }
+
+  // Handshake.
+  if (!client.Send(mbe::serve::HelloMsg{})) return 1;
+  {
+    auto reply = client.Read();
+    if (!reply.ok() ||
+        !std::holds_alternative<mbe::serve::HelloOkMsg>(reply.value())) {
+      std::fprintf(stderr, "handshake failed\n");
+      return 1;
+    }
+  }
+
+  // Upload the graph, mirroring the one-shot facade's preprocessing
+  // choices so the server-side engine matches the local reference.
+  {
+    mbe::serve::LoadGraphMsg load;
+    load.name = spec.name;
+    load.num_left = static_cast<uint32_t>(graph.num_left());
+    load.num_right = static_cast<uint32_t>(graph.num_right());
+    const std::vector<mbe::Edge> edges = graph.ToEdges();
+    load.edge_left.reserve(edges.size());
+    load.edge_right.reserve(edges.size());
+    for (const mbe::Edge& e : edges) {
+      load.edge_left.push_back(e.u);
+      load.edge_right.push_back(e.v);
+    }
+    load.core_reduce = algorithm == mbe::Algorithm::kMbet ||
+                       algorithm == mbe::Algorithm::kMbetM;
+    load.min_left = min_left;
+    load.min_right = min_right;
+    if (!client.Send(load)) return 1;
+    auto reply = client.Read();
+    if (!reply.ok() ||
+        !std::holds_alternative<mbe::serve::LoadOkMsg>(reply.value())) {
+      std::fprintf(stderr, "graph upload failed\n");
+      return 1;
+    }
+    const auto& ok = std::get<mbe::serve::LoadOkMsg>(reply.value());
+    std::printf("uploaded '%s': %llu edges retained, build %.3fs\n",
+                ok.name.c_str(),
+                static_cast<unsigned long long>(ok.num_edges),
+                ok.build_seconds);
+  }
+
+  mbe::serve::StartSessionMsg start;
+  start.graph = spec.name;
+  start.algorithm = static_cast<uint8_t>(algorithm);
+  start.min_left = min_left;
+  start.min_right = min_right;
+  start.max_results = static_cast<uint64_t>(flags.GetInt("max-results"));
+  start.deadline_seconds = flags.GetDouble("deadline");
+  start.max_memory_bytes = static_cast<uint64_t>(flags.GetInt("max-memory"));
+  start.batch_results = static_cast<uint32_t>(flags.GetInt("batch"));
+
+  // Request send times pair with kSessionStarted frames in FIFO order; all
+  // requests are identical, so the (rare) admission reordering only blurs
+  // individual latencies, never the percentile picture.
+  std::deque<Clock::time_point> pending_starts;
+  std::map<uint64_t, std::unique_ptr<SessionTracker>> active;
+  std::vector<double> latencies_ms;
+  uint64_t max_queue_wait_ns = 0;
+  int sent = 0;
+  int completed = 0;
+  int rejected = 0;
+  int mismatches = 0;
+  int incomplete = 0;
+
+  auto send_one = [&]() -> bool {
+    pending_starts.push_back(Clock::now());
+    ++sent;
+    return client.Send(start);
+  };
+
+  const Clock::time_point bench_start = Clock::now();
+  for (int i = 0; i < std::min(concurrent, total_sessions); ++i) {
+    if (!send_one()) return 1;
+  }
+
+  while (completed + rejected < total_sessions) {
+    auto frame = client.Read();
+    if (!frame.ok()) {
+      std::fprintf(stderr, "read: %s\n",
+                   frame.status().ToString().c_str());
+      return 1;
+    }
+    mbe::serve::Message message = std::move(frame).value();
+    if (auto* started =
+            std::get_if<mbe::serve::SessionStartedMsg>(&message)) {
+      auto tracker = std::make_unique<SessionTracker>();
+      tracker->started_at = pending_starts.front();
+      pending_starts.pop_front();
+      active[started->session_id] = std::move(tracker);
+    } else if (auto* batch =
+                   std::get_if<mbe::serve::ResultBatchMsg>(&message)) {
+      auto it = active.find(batch->session_id);
+      if (it == active.end()) {
+        std::fprintf(stderr, "batch for unknown session %llu\n",
+                     static_cast<unsigned long long>(batch->session_id));
+        return 1;
+      }
+      it->second->fingerprint.EmitBatch(batch->batch);
+    } else if (auto* done =
+                   std::get_if<mbe::serve::SessionDoneMsg>(&message)) {
+      auto it = active.find(done->session_id);
+      if (it == active.end()) {
+        std::fprintf(stderr, "done for unknown session %llu\n",
+                     static_cast<unsigned long long>(done->session_id));
+        return 1;
+      }
+      latencies_ms.push_back(MsSince(it->second->started_at, Clock::now()));
+      max_queue_wait_ns = std::max(max_queue_wait_ns, done->queue_wait_ns);
+      const auto termination =
+          static_cast<mbe::Termination>(done->termination);
+      if (termination == mbe::Termination::kComplete) {
+        if (verify) {
+          const uint64_t got_digest = it->second->fingerprint.Digest();
+          const uint64_t got_count = it->second->fingerprint.count();
+          if (got_digest != want_digest || got_count != want_count ||
+              done->results_emitted != want_count) {
+            std::fprintf(
+                stderr,
+                "DIGEST MISMATCH session %llu: got %016llx/%llu want "
+                "%016llx/%llu\n",
+                static_cast<unsigned long long>(done->session_id),
+                static_cast<unsigned long long>(got_digest),
+                static_cast<unsigned long long>(got_count),
+                static_cast<unsigned long long>(want_digest),
+                static_cast<unsigned long long>(want_count));
+            ++mismatches;
+          }
+        }
+      } else {
+        ++incomplete;
+      }
+      active.erase(it);
+      ++completed;
+      if (sent < total_sessions && !send_one()) return 1;
+    } else if (auto* reject =
+                   std::get_if<mbe::serve::RejectedMsg>(&message)) {
+      std::fprintf(stderr, "rejected: %s\n", reject->detail.c_str());
+      pending_starts.pop_front();
+      ++rejected;
+      if (sent < total_sessions && !send_one()) return 1;
+    } else if (auto* error = std::get_if<mbe::serve::ErrorMsg>(&message)) {
+      std::fprintf(stderr, "server error: %s\n", error->detail.c_str());
+      return 1;
+    }
+  }
+  const double wall_s =
+      MsSince(bench_start, Clock::now()) / 1000.0;
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const double p50 = Percentile(latencies_ms, 0.50);
+  const double p95 = Percentile(latencies_ms, 0.95);
+  const double p99 = Percentile(latencies_ms, 0.99);
+  double mean = 0;
+  for (double v : latencies_ms) mean += v;
+  if (!latencies_ms.empty()) mean /= static_cast<double>(latencies_ms.size());
+
+  std::printf(
+      "%d sessions (%d concurrent): %d complete, %d interrupted, %d "
+      "rejected, %d digest mismatches\n",
+      total_sessions, concurrent, completed - incomplete, incomplete,
+      rejected, mismatches);
+  std::printf(
+      "latency ms: p50=%.1f p95=%.1f p99=%.1f mean=%.1f  throughput=%.1f "
+      "sessions/s  max_queue_wait=%.1fms\n",
+      p50, p95, p99, mean,
+      wall_s > 0 ? static_cast<double>(completed) / wall_s : 0,
+      static_cast<double>(max_queue_wait_ns) / 1e6);
+
+  const std::string out = flags.GetString("out");
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"pmbe_serve mixed workload\",\n"
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"algorithm\": \"%s\",\n"
+                 "  \"sessions\": %d,\n"
+                 "  \"concurrent\": %d,\n"
+                 "  \"complete\": %d,\n"
+                 "  \"interrupted\": %d,\n"
+                 "  \"rejected\": %d,\n"
+                 "  \"digest_mismatches\": %d,\n"
+                 "  \"verified\": %s,\n"
+                 "  \"latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, "
+                 "\"p99\": %.2f, \"mean\": %.2f},\n"
+                 "  \"throughput_sessions_per_s\": %.2f,\n"
+                 "  \"max_queue_wait_ms\": %.2f,\n"
+                 "  \"wall_seconds\": %.2f\n"
+                 "}\n",
+                 spec.name.c_str(), mbe::AlgorithmName(algorithm),
+                 total_sessions, concurrent, completed - incomplete,
+                 incomplete, rejected, mismatches,
+                 verify && mismatches == 0 ? "true" : "false", p50, p95,
+                 p99, mean,
+                 wall_s > 0 ? static_cast<double>(completed) / wall_s : 0,
+                 static_cast<double>(max_queue_wait_ns) / 1e6, wall_s);
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return mismatches == 0 ? 0 : 1;
+}

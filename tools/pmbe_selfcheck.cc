@@ -131,7 +131,7 @@ int RunFaultSweep() {
   auto& registry = util::FaultRegistry::Global();
   const BipartiteGraph graph = gen::ErdosRenyi(24, 24, 0.4, 7);
   CollectSink reference_sink;
-  Enumerate(graph, Options(), &reference_sink);
+  if (!Enumerate(graph, Options(), &reference_sink, nullptr).ok()) return 1;
   const std::vector<Biclique> reference = reference_sink.TakeSorted();
 
   Options options;
@@ -156,8 +156,16 @@ int RunFaultSweep() {
     registry.ResetHits();
     registry.ArmCountdown(point, ~uint64_t{0});
     {
+      // The armed-but-unreachable countdown must not fail the run.
       CountSink sink;
-      Enumerate(graph, options, &sink);
+      RunResult run;
+      if (!Enumerate(graph, options, &sink, &run).ok() || !run.complete()) {
+        std::fprintf(stderr,
+                     "FAULT-SWEEP FAILURE: point %s: armed-idle run did not "
+                     "complete\n",
+                     point);
+        return 1;
+      }
     }
     const uint64_t hits = registry.hits(point);
     registry.Disarm();
@@ -229,7 +237,12 @@ int main(int argc, char** argv) {
 
     // Reference result from MBET defaults.
     CollectSink reference_sink;
-    Enumerate(graph, Options(), &reference_sink);
+    if (util::Status status = Enumerate(graph, Options(), &reference_sink,
+                                        nullptr);
+        !status.ok()) {
+      return Fail(graph, "reference enumeration failed",
+                  status.ToString().c_str(), round);
+    }
     const std::vector<Biclique> reference = reference_sink.TakeSorted();
     total_bicliques += reference.size();
 
@@ -321,7 +334,12 @@ int main(int argc, char** argv) {
 
     for (const Config& config : configs) {
       FingerprintSink sink;
-      Enumerate(graph, config.options, &sink);
+      if (util::Status status = Enumerate(graph, config.options, &sink,
+                                          nullptr);
+          !status.ok()) {
+        return Fail(graph, "engine run failed", status.ToString().c_str(),
+                    round);
+      }
       if (sink.Digest() != ref_print.Digest() ||
           sink.count() != reference.size()) {
         char detail[160];

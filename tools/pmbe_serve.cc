@@ -1,0 +1,121 @@
+// pmbe_serve — the enumeration daemon (docs/SERVICE.md).
+//
+// Loads graphs once into an in-process registry and serves any number of
+// concurrent enumeration sessions over the serve/wire.h protocol, on a
+// Unix-domain socket (--unix) or loopback TCP (--port). Sessions share one
+// worker pool; admission control bounds concurrency (--max-active /
+// --max-queued). SIGTERM / SIGINT drains: running sessions finish and
+// stream their results, new sessions are rejected with kDraining, then the
+// process exits cleanly.
+//
+// Graphs can be preloaded from files (positional `name=path` edge lists)
+// or uploaded by clients with kLoadGraph frames.
+//
+//   pmbe_serve --unix=/tmp/pmbe.sock --max-active=64 web=graphs/web.txt
+
+#include <csignal>
+#include <cstdio>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "graph/graph_io.h"
+#include "serve/server.h"
+#include "util/flags.h"
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int /*signal*/) { g_shutdown.store(true); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mbe::util::FlagParser flags;
+  flags.AddString("unix", "", "unix-domain socket path to listen on");
+  flags.AddInt("port", 0,
+               "loopback TCP port (used when --unix is empty; 0 = ephemeral, "
+               "printed at startup)");
+  flags.AddInt("pool-threads", 0,
+               "session-pool worker threads (0 = hardware concurrency)");
+  flags.AddInt("max-active", 8, "sessions running concurrently");
+  flags.AddInt("max-queued", 64, "sessions waiting before kRejected");
+  flags.Parse(argc, argv);
+
+  mbe::serve::ServerOptions options;
+  options.unix_path = flags.GetString("unix");
+  options.tcp_port = static_cast<uint16_t>(flags.GetInt("port"));
+  options.pool_threads =
+      static_cast<unsigned>(flags.GetInt("pool-threads"));
+  options.max_active_sessions =
+      static_cast<size_t>(flags.GetInt("max-active"));
+  options.max_queued_sessions =
+      static_cast<size_t>(flags.GetInt("max-queued"));
+
+  mbe::serve::Server server(options);
+
+  // Preload positional name=path graphs with default GraphOptions.
+  for (const std::string& spec : flags.positional()) {
+    const size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "bad graph spec '%s' (want name=path)\n",
+                   spec.c_str());
+      return 1;
+    }
+    const std::string name = spec.substr(0, eq);
+    const std::string path = spec.substr(eq + 1);
+    auto graph = mbe::LoadEdgeList(path);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "load %s: %s\n", path.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    auto engine =
+        mbe::Engine::Build(std::move(graph).value(), mbe::GraphOptions{});
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build %s: %s\n", name.c_str(),
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s: %s (build %.3fs)\n", name.c_str(),
+                engine.value()->graph().Summary().c_str(),
+                engine.value()->build_seconds());
+    server.registry().Put(name, std::move(engine).value());
+  }
+
+  if (mbe::util::Status status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!options.unix_path.empty()) {
+    std::printf("pmbe_serve listening on %s (pool=%u active<=%zu)\n",
+                options.unix_path.c_str(), server.pool_threads(),
+                options.max_active_sessions);
+  } else {
+    std::printf("pmbe_serve listening on 127.0.0.1:%u (pool=%u active<=%zu)\n",
+                server.tcp_port(), server.pool_threads(),
+                options.max_active_sessions);
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+
+  while (!g_shutdown.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Drain: stop admitting, let running sessions finish and deliver their
+  // kSessionDone frames, then tear the sockets down.
+  std::printf("pmbe_serve draining\n");
+  std::fflush(stdout);
+  server.BeginDrain();
+  while (!server.idle()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.Stop();
+  std::printf("pmbe_serve stopped\n");
+  return 0;
+}
