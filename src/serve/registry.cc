@@ -5,10 +5,10 @@
 
 namespace mbe::serve {
 
-void GraphRegistry::Put(const std::string& name,
+bool GraphRegistry::Put(const std::string& name,
                         std::shared_ptr<const Engine> engine) {
   std::lock_guard<std::mutex> lock(mu_);
-  engines_[name] = std::move(engine);
+  return engines_.emplace(name, std::move(engine)).second;
 }
 
 std::shared_ptr<const Engine> GraphRegistry::Get(

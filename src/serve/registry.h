@@ -12,17 +12,22 @@
 /// `serve::GraphRegistry` — the load-once graph store of a serving
 /// process. Clients (or the server's preload flags) build an `mbe::Engine`
 /// per graph; every session after that shares the immutable engine by
-/// `shared_ptr<const Engine>`, so replacing or dropping a graph never
-/// invalidates in-flight sessions — they keep their reference until they
-/// retire.
+/// `shared_ptr<const Engine>`, so dropping a graph never invalidates
+/// in-flight sessions — they keep their reference until they retire.
+///
+/// Names form one flat namespace shared by every connection (the protocol
+/// carries no authentication), so registration is first-wins: `Put` refuses
+/// to overwrite, and a name must be `Erase`d before it can be reused.
+/// Without that rule any client could silently swap the graph under
+/// another tenant's future sessions.
 
 namespace mbe::serve {
 
 class GraphRegistry {
  public:
-  /// Registers `engine` under `name`, replacing any previous engine with
-  /// that name (in-flight sessions keep the old one alive).
-  void Put(const std::string& name, std::shared_ptr<const Engine> engine);
+  /// Registers `engine` under `name`. Returns false — leaving the existing
+  /// engine in place — when the name is already taken.
+  bool Put(const std::string& name, std::shared_ptr<const Engine> engine);
 
   /// The engine registered under `name`, or nullptr.
   std::shared_ptr<const Engine> Get(const std::string& name) const;

@@ -6,10 +6,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <sys/time.h>
+
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <condition_variable>
 #include <cstring>
+#include <deque>
 #include <functional>
 #include <map>
 #include <utility>
@@ -43,23 +47,25 @@ class WireSink : public ResultSink {
   void Emit(std::span<const VertexId> left,
             std::span<const VertexId> right) override {
     std::lock_guard<std::mutex> lock(mu_);
-    if (failed_) return;
+    if (failed_.load(std::memory_order_relaxed)) return;
     pending_.batch.Append(left, right);
     if (pending_.batch.size() >= batch_results_) FlushLocked();
   }
 
   void EmitBatch(const BicliqueBatch& batch) override {
     std::lock_guard<std::mutex> lock(mu_);
-    if (failed_) return;
+    if (failed_.load(std::memory_order_relaxed)) return;
     for (size_t i = 0; i < batch.size(); ++i) {
       pending_.batch.Append(batch.left(i), batch.right(i));
     }
     if (pending_.batch.size() >= batch_results_) FlushLocked();
   }
 
+  /// Lock-free: polled from pool workers on hot paths (and cached into
+  /// ActiveSession::stopped), so it must never contend with an in-flight
+  /// flush.
   bool ShouldStop() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return failed_;
+    return failed_.load(std::memory_order_acquire);
   }
 
   /// Sends the final partial batch; call before the kSessionDone frame.
@@ -69,10 +75,17 @@ class WireSink : public ResultSink {
   }
 
  private:
+  /// `write_` only queues the frame onto the connection's writer thread
+  /// (Connection::WriteFrame) — it cannot block on the socket, so holding
+  /// `mu_` across it is safe.
   void FlushLocked() {
-    if (failed_ || pending_.batch.size() == 0) return;
+    if (failed_.load(std::memory_order_relaxed) || pending_.batch.size() == 0) {
+      return;
+    }
     const uint64_t session_id = pending_.session_id;
-    if (!write_(Message(std::move(pending_)))) failed_ = true;
+    if (!write_(Message(std::move(pending_)))) {
+      failed_.store(true, std::memory_order_release);
+    }
     pending_ = ResultBatchMsg{};
     pending_.session_id = session_id;
   }
@@ -81,7 +94,7 @@ class WireSink : public ResultSink {
   const uint32_t batch_results_;
   mutable std::mutex mu_;
   ResultBatchMsg pending_;
-  bool failed_ = false;
+  std::atomic<bool> failed_{false};
 };
 
 /// One in-flight (or admission-queued) session of a connection.
@@ -98,46 +111,116 @@ struct Server::Connection {
   std::atomic<bool> finished{false};
   std::thread reader;
 
-  /// Serializes frames from the reader, the session starters, and every
-  /// pool worker flushing result batches; each frame is written whole.
-  std::mutex write_mu;
+  /// The only thread that ever blocks in send(): the reader, the session
+  /// starters, and every pool worker just enqueue frames (WriteFrame), so
+  /// a client that stops reading backs up this connection's queue instead
+  /// of wedging whoever produced the frame.
+  std::thread writer;
+  std::mutex out_mu;
+  std::condition_variable out_cv;
+  std::deque<std::vector<uint8_t>> outbound;  ///< guarded by out_mu
+  size_t outbound_bytes = 0;                  ///< guarded by out_mu
+  size_t max_outbound_bytes = 0;  ///< set before the writer starts
+  bool writer_stop = false;       ///< guarded by out_mu
 
   std::mutex sessions_mu;
   std::map<uint64_t, std::shared_ptr<internal::SessionRec>> sessions;
-  /// Helper threads waiting out admission; only the reader appends, and
-  /// only the reader's exit path joins.
-  std::vector<std::thread> starters;
+  /// Helper threads waiting out admission; guarded by sessions_mu. Each
+  /// flips its `done` flag as its very last action, so StartSession can
+  /// join finished starters without blocking (see the reap there); the
+  /// reader's exit path joins whatever is left.
+  struct Starter {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Starter> starters;
 
   ~Connection() {
     if (reader.joinable()) reader.join();
+    StopWriter();
     if (fd >= 0) ::close(fd);
   }
 
-  /// Encodes and writes one frame. On failure the connection goes dead:
-  /// every session is cancelled (their results have nowhere to go).
+  /// Encodes one frame and queues it for the writer; frames are later
+  /// written whole, in queue order. Never blocks on the socket. Returns
+  /// false — with the connection failed — when the frame cannot be
+  /// delivered: encoding failed, the connection is already dead, or the
+  /// client stopped reading long enough to overflow its outbound budget.
   bool WriteFrame(const Message& message) {
     std::vector<uint8_t> frame;
     if (!EncodeMessage(message, &frame).ok()) {
       Abandon();
       return false;
     }
-    bool sent = false;
+    bool queued = false;
     {
-      std::lock_guard<std::mutex> lock(write_mu);
-      if (!dead.load(std::memory_order_acquire)) {
-        size_t off = 0;
-        while (off < frame.size()) {
-          const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
-                                   MSG_NOSIGNAL);
-          if (n < 0 && errno == EINTR) continue;
-          if (n <= 0) break;
-          off += static_cast<size_t>(n);
-        }
-        sent = off == frame.size();
+      std::lock_guard<std::mutex> lock(out_mu);
+      // An empty queue always accepts (the writer is keeping up), so one
+      // frame bigger than the whole budget cannot wedge a healthy
+      // connection; the memory bound is max(budget, one frame).
+      if (!dead.load(std::memory_order_acquire) &&
+          (outbound.empty() ||
+           outbound_bytes + frame.size() <= max_outbound_bytes)) {
+        outbound_bytes += frame.size();
+        outbound.push_back(std::move(frame));
+        queued = true;
       }
     }
-    if (!sent) Abandon();
-    return sent;
+    if (!queued) {
+      Abandon();
+      return false;
+    }
+    out_cv.notify_one();
+    return true;
+  }
+
+  /// Writer-thread body. Sends may block — bounded by SO_SNDTIMEO — but
+  /// hold no lock any other thread needs; a failed or timed-out send fails
+  /// the whole connection. Exits once StopWriter was called and the queue
+  /// is drained, so already-queued final frames still reach a live peer.
+  void WriterLoop() {
+    for (;;) {
+      std::vector<uint8_t> frame;
+      {
+        std::unique_lock<std::mutex> lock(out_mu);
+        out_cv.wait(lock, [&] { return writer_stop || !outbound.empty(); });
+        if (outbound.empty()) return;  // writer_stop and fully drained
+        frame = std::move(outbound.front());
+        outbound.pop_front();
+        outbound_bytes -= frame.size();
+      }
+      size_t off = 0;
+      bool sent = true;
+      while (off < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
+                                 MSG_NOSIGNAL);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {  // connection error or SO_SNDTIMEO expired
+          sent = false;
+          break;
+        }
+        off += static_cast<size_t>(n);
+      }
+      if (!sent) {
+        Abandon();
+        // The rest of the queue is undeliverable, and Abandon stopped new
+        // enqueues; drop it and wait out writer_stop.
+        std::lock_guard<std::mutex> lock(out_mu);
+        outbound.clear();
+        outbound_bytes = 0;
+      }
+    }
+  }
+
+  /// Lets the writer drain the queued frames, then joins it. Called from
+  /// the reader's exit path (the destructor's call is then a no-op).
+  void StopWriter() {
+    {
+      std::lock_guard<std::mutex> lock(out_mu);
+      writer_stop = true;
+    }
+    out_cv.notify_all();
+    if (writer.joinable()) writer.join();
   }
 
   /// Marks the connection dead and cancels all of its sessions. Idempotent.
@@ -271,6 +354,13 @@ void Server::AcceptLoop() {
     }
     auto conn = std::make_shared<Connection>();
     conn->fd = client_fd;
+    conn->max_outbound_bytes = options_.max_outbound_bytes;
+    if (options_.write_timeout_seconds > 0) {
+      timeval timeout{};
+      timeout.tv_sec = options_.write_timeout_seconds;
+      ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                   sizeof(timeout));
+    }
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
       // Reap connections whose reader already finished, so a long-lived
@@ -282,6 +372,7 @@ void Server::AcceptLoop() {
                       return true;
                     });
       connections_.push_back(conn);
+      conn->writer = std::thread([conn] { conn->WriterLoop(); });
       conn->reader = std::thread([this, conn] { ConnectionLoop(conn); });
     }
   }
@@ -329,18 +420,19 @@ void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
   }
   // Sessions past this point have no one to read them.
   conn->Abandon();
-  std::vector<std::thread> starters;
+  std::vector<Connection::Starter> starters;
   {
     std::lock_guard<std::mutex> lock(conn->sessions_mu);
     starters.swap(conn->starters);
   }
-  for (std::thread& starter : starters) {
-    if (starter.joinable()) starter.join();
+  for (Connection::Starter& starter : starters) {
+    if (starter.thread.joinable()) starter.thread.join();
   }
-  // Half-close so the peer sees EOF after any final frame (the kError
-  // path exits this loop with the socket otherwise still open). Already
-  // buffered outbound frames still reach the peer; late WriteFrame calls
-  // are no-ops via the dead latch.
+  // Deliver the already-queued final frames (e.g. the kError reply), then
+  // half-close so the peer sees EOF (the kError path exits this loop with
+  // the socket otherwise still open). Late WriteFrame calls are no-ops
+  // via the dead latch.
+  conn->StopWriter();
   conn->Close();
   conn->finished.store(true);
 }
@@ -389,6 +481,13 @@ void Server::HandleLoadGraph(const std::shared_ptr<Connection>& conn,
     fail("unknown vertex order " + std::to_string(msg.order));
     return;
   }
+  // First-wins namespace (registry.h): refuse before the expensive engine
+  // build. A client must not be able to swap the graph under a name other
+  // tenants' future sessions resolve.
+  if (registry_.Get(msg.name) != nullptr) {
+    fail("graph name already registered");
+    return;
+  }
   std::vector<Edge> edges(msg.edge_left.size());
   for (size_t i = 0; i < edges.size(); ++i) {
     edges[i] = Edge{msg.edge_left[i], msg.edge_right[i]};
@@ -424,7 +523,10 @@ void Server::HandleLoadGraph(const std::shared_ptr<Connection>& conn,
   // actually enumerate over.
   ok.num_edges = engine.value()->graph().num_edges();
   ok.build_seconds = engine.value()->build_seconds();
-  registry_.Put(msg.name, std::move(engine).value());
+  if (!registry_.Put(msg.name, std::move(engine).value())) {
+    fail("graph name already registered");  // raced a concurrent load
+    return;
+  }
   conn->WriteFrame(ok);
 }
 
@@ -476,54 +578,73 @@ void Server::StartSession(const std::shared_ptr<Connection>& conn,
   // Prepare is a supported latch).
   std::lock_guard<std::mutex> lock(conn->sessions_mu);
   conn->sessions[session_id] = rec;
-  conn->starters.emplace_back([this, conn, rec, session_id] {
-    auto drop = [&] {
+  // Reap starters that already finished: a long-lived connection may
+  // start thousands of sessions, and a finished-but-unjoined thread pins
+  // kernel and stack resources until someone joins it. A set `done` flag
+  // is a starter's final action, so these joins return immediately.
+  std::erase_if(conn->starters, [](Connection::Starter& starter) {
+    if (!starter.done->load(std::memory_order_acquire)) return false;
+    if (starter.thread.joinable()) starter.thread.join();
+    return true;
+  });
+  auto done_flag = std::make_shared<std::atomic<bool>>(false);
+  conn->starters.push_back(Connection::Starter{
+      std::thread([this, conn, rec, session_id, done_flag] {
+        RunStarter(conn, rec, session_id);
+        done_flag->store(true, std::memory_order_release);
+      }),
+      done_flag});
+}
+
+void Server::RunStarter(const std::shared_ptr<Connection>& conn,
+                        const std::shared_ptr<internal::SessionRec>& rec,
+                        uint64_t session_id) {
+  auto drop = [&] {
+    std::lock_guard<std::mutex> inner(conn->sessions_mu);
+    conn->sessions.erase(session_id);
+  };
+  const AdmissionController::Ticket ticket = admission_.Acquire();
+  if (!ticket.admitted) {
+    conn->WriteFrame(
+        RejectedMsg{static_cast<uint8_t>(ticket.reason),
+                    RejectReasonName(ticket.reason)});
+    drop();
+    return;
+  }
+  if (ticket.queue_wait_ns > 0) {
+    EnumStats wait_stats;
+    wait_stats.queue_wait_ns = ticket.queue_wait_ns;
+    rec->session->AddWorkerStats(wait_stats);
+  }
+  if (util::Status status = rec->session->Prepare(rec->sink.get());
+      !status.ok()) {
+    admission_.Release();
+    conn->WriteFrame(RejectedMsg{
+        static_cast<uint8_t>(RejectReason::kBadOptions),
+        status.ToString()});
+    drop();
+    return;
+  }
+  conn->WriteFrame(SessionStartedMsg{session_id});
+  pool_->Submit(rec->session, [this, conn, rec,
+                               session_id](const RunResult& result) {
+    rec->sink->Flush();  // final partial batch precedes kSessionDone
+    SessionDoneMsg done;
+    done.session_id = session_id;
+    done.termination = static_cast<uint8_t>(result.termination);
+    done.results_emitted = result.results_emitted;
+    done.maximal = result.stats.maximal;
+    done.nodes_expanded = result.stats.nodes_expanded;
+    done.peak_charged_bytes = result.stats.peak_charged_bytes;
+    done.queue_wait_ns = result.stats.queue_wait_ns;
+    done.seconds = result.seconds;
+    done.message = result.message;
+    conn->WriteFrame(done);
+    {
       std::lock_guard<std::mutex> inner(conn->sessions_mu);
       conn->sessions.erase(session_id);
-    };
-    const AdmissionController::Ticket ticket = admission_.Acquire();
-    if (!ticket.admitted) {
-      conn->WriteFrame(
-          RejectedMsg{static_cast<uint8_t>(ticket.reason),
-                      RejectReasonName(ticket.reason)});
-      drop();
-      return;
     }
-    if (ticket.queue_wait_ns > 0) {
-      EnumStats wait_stats;
-      wait_stats.queue_wait_ns = ticket.queue_wait_ns;
-      rec->session->AddWorkerStats(wait_stats);
-    }
-    if (util::Status status = rec->session->Prepare(rec->sink.get());
-        !status.ok()) {
-      admission_.Release();
-      conn->WriteFrame(RejectedMsg{
-          static_cast<uint8_t>(RejectReason::kBadOptions),
-          status.ToString()});
-      drop();
-      return;
-    }
-    conn->WriteFrame(SessionStartedMsg{session_id});
-    pool_->Submit(rec->session, [this, conn, rec,
-                                 session_id](const RunResult& result) {
-      rec->sink->Flush();  // final partial batch precedes kSessionDone
-      SessionDoneMsg done;
-      done.session_id = session_id;
-      done.termination = static_cast<uint8_t>(result.termination);
-      done.results_emitted = result.results_emitted;
-      done.maximal = result.stats.maximal;
-      done.nodes_expanded = result.stats.nodes_expanded;
-      done.peak_charged_bytes = result.stats.peak_charged_bytes;
-      done.queue_wait_ns = result.stats.queue_wait_ns;
-      done.seconds = result.seconds;
-      done.message = result.message;
-      conn->WriteFrame(done);
-      {
-        std::lock_guard<std::mutex> inner(conn->sessions_mu);
-        conn->sessions.erase(session_id);
-      }
-      admission_.Release();
-    });
+    admission_.Release();
   });
 }
 

@@ -25,10 +25,13 @@
 /// waiting, new sessions get a typed kRejected frame instead of latency.
 ///
 /// Per-connection: one reader thread; session starts wait for admission on
-/// short-lived helper threads so the reader keeps servicing kCancelSession
-/// frames while a start is queued. Results stream back as kResultBatch
-/// frames written under one per-connection write mutex (frames from
-/// concurrent sessions interleave, each frame is atomic).
+/// short-lived helper threads (reaped as they finish) so the reader keeps
+/// servicing kCancelSession frames while a start is queued. Results stream
+/// back as kResultBatch frames through a bounded outbound queue drained by
+/// one dedicated writer thread per connection (frames from concurrent
+/// sessions interleave, each frame is atomic). Pool workers never touch
+/// the socket: a slow-reading client backs up only its own queue, and
+/// overflowing it (or a send timeout) fails just that connection.
 ///
 /// Shutdown is a drain (SIGTERM handling lives in tools/pmbe_serve.cc):
 /// `BeginDrain` rejects new sessions with kDraining while running ones
@@ -36,6 +39,10 @@
 /// and joins all threads.
 
 namespace mbe::serve {
+
+namespace internal {
+struct SessionRec;  // server.cc: one in-flight session of a connection
+}  // namespace internal
 
 struct ServerOptions {
   /// Non-empty: listen on this Unix-domain socket path (unlinked first).
@@ -50,6 +57,14 @@ struct ServerOptions {
   /// Admission bounds: sessions running / waiting before kRejected.
   size_t max_active_sessions = 8;
   size_t max_queued_sessions = 64;
+
+  /// Cap on bytes queued toward one connection's writer thread. A client
+  /// that stops reading (TCP backpressure) fills its queue and is then
+  /// dropped — its sessions cancel — instead of blocking pool workers.
+  size_t max_outbound_bytes = 64u << 20;
+  /// SO_SNDTIMEO on client sockets: a single blocked send() past this is
+  /// treated as connection failure. 0 disables the timeout.
+  unsigned write_timeout_seconds = 30;
 };
 
 class Server {
@@ -94,6 +109,11 @@ class Server {
                      Message message);
   void StartSession(const std::shared_ptr<Connection>& conn,
                     StartSessionMsg msg);
+  /// Starter-thread body: waits out admission, prepares the session, and
+  /// submits it to the pool (or writes the typed rejection).
+  void RunStarter(const std::shared_ptr<Connection>& conn,
+                  const std::shared_ptr<internal::SessionRec>& rec,
+                  uint64_t session_id);
   void HandleLoadGraph(const std::shared_ptr<Connection>& conn,
                        LoadGraphMsg msg);
 

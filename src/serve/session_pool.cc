@@ -90,8 +90,11 @@ void SessionPool::WorkerLoop(size_t worker_index) {
       const size_t total = active->session->task_count();
       first = active->next_task;
       // A stopped session's remaining tasks are pure bookkeeping: sweep
-      // them in one claim instead of one lock round per subtree.
-      count = active->session->run_sink()->ShouldStop() ? total - first : 1;
+      // them in one claim instead of one lock round per subtree. Only the
+      // cached flag is consulted here — see ActiveSession::stopped.
+      count = active->stopped.load(std::memory_order_relaxed)
+                  ? total - first
+                  : 1;
       active->next_task += count;
       if (active->next_task >= total) {
         ring_.erase(ring_.begin() + cursor_);
@@ -149,6 +152,11 @@ void SessionPool::RunTask(ActiveSession& active, size_t worker_index,
     if (ctrl != nullptr) ctrl->ReportInternal(e.what());
   } catch (...) {
     if (ctrl != nullptr) ctrl->ReportInternal("unknown exception");
+  }
+  // Publish a newly tripped stop (cancel/deadline/budget/sink failure) so
+  // the next claim sweeps the session's remaining tasks in one go.
+  if (session.run_sink()->ShouldStop()) {
+    active.stopped.store(true, std::memory_order_relaxed);
   }
 }
 

@@ -80,6 +80,13 @@ class SessionPool {
     /// worker's writes to its slot visible to the retiring worker.
     std::atomic<size_t> remaining{0};
     std::atomic<bool> first_claimed{false};
+    /// Cached "this session's sink said stop" flag, set by workers outside
+    /// the pool mutex. The claim loop reads only this — never the sink
+    /// chain — under the pool mutex: the session's sink may take its own
+    /// locks (the serve WireSink shares one with a connection's writers),
+    /// and chaining into those while holding the mutex every worker needs
+    /// to claim work would let one stuck session stall the whole pool.
+    std::atomic<bool> stopped{false};
 
     /// Lazily built per-pool-worker state. Slot i is written only by
     /// worker i while tasks are in flight; the retiring worker reads all

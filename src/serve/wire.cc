@@ -368,8 +368,46 @@ MsgType TypeOf(const Message& message) {
   return std::visit(Visitor{}, message);
 }
 
+namespace {
+
+/// Encode-side mirror of the decoder's structural bounds. A message that
+/// violates them must fail here, cleanly — encoding it anyway would
+/// produce a frame the peer rejects as corrupt, which the header promises
+/// never happens.
+util::Status ValidateForEncode(const Message& message) {
+  if (const auto* load = std::get_if<LoadGraphMsg>(&message)) {
+    if (load->edge_left.size() != load->edge_right.size()) {
+      return util::Status::InvalidArgument(
+          "kLoadGraph: edge_left/edge_right size mismatch (" +
+          std::to_string(load->edge_left.size()) + " vs " +
+          std::to_string(load->edge_right.size()) + ")");
+    }
+    if (load->name.size() > kMaxNameBytes) {
+      return util::Status::InvalidArgument(
+          "kLoadGraph: name exceeds " + std::to_string(kMaxNameBytes) +
+          " bytes");
+    }
+  } else if (const auto* ok = std::get_if<LoadOkMsg>(&message)) {
+    if (ok->name.size() > kMaxNameBytes) {
+      return util::Status::InvalidArgument(
+          "kLoadOk: name exceeds " + std::to_string(kMaxNameBytes) +
+          " bytes");
+    }
+  } else if (const auto* start = std::get_if<StartSessionMsg>(&message)) {
+    if (start->graph.size() > kMaxNameBytes) {
+      return util::Status::InvalidArgument(
+          "kStartSession: graph name exceeds " +
+          std::to_string(kMaxNameBytes) + " bytes");
+    }
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
 util::Status EncodeMessage(const Message& message, std::vector<uint8_t>* out) {
   PMBE_CHECK(out != nullptr);
+  PMBE_RETURN_IF_ERROR(ValidateForEncode(message));
   std::vector<uint8_t> payload;
   Writer w(&payload);
   std::visit([&w](const auto& m) { EncodePayload(m, w); }, message);

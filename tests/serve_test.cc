@@ -509,6 +509,81 @@ TEST(ServeTest, DrainRejectsNewSessionsThenGoesIdle) {
   EXPECT_TRUE(h.server->idle());
 }
 
+TEST(ServeTest, DuplicateGraphNameRejected) {
+  // The registry is one flat namespace shared by every (unauthenticated)
+  // client: re-registering a name must fail instead of silently swapping
+  // the graph under other tenants' future sessions.
+  Harness h("dupload");
+  h.server->registry().Put("g", SmallEngine());
+  h.StartAndConnect();
+
+  const BipartiteGraph graph = gen::ErdosRenyi(8, 8, 0.4, 3);
+  LoadGraphMsg load;
+  load.name = "g";
+  load.num_left = static_cast<uint32_t>(graph.num_left());
+  load.num_right = static_cast<uint32_t>(graph.num_right());
+  for (const auto& [u, v] : graph.ToEdges()) {
+    load.edge_left.push_back(u);
+    load.edge_right.push_back(v);
+  }
+  ASSERT_TRUE(h.client.Send(load));
+  std::optional<Message> reply = h.client.Read();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(std::holds_alternative<ErrorMsg>(*reply));
+  // Load failures abandon the connection; the peer sees EOF.
+  EXPECT_FALSE(h.client.Read().has_value());
+}
+
+TEST(ServeTest, SlowReaderStallsOnlyItsOwnConnection) {
+  // Regression: a client that stopped reading used to block a pool worker
+  // inside send() while it held the result sink's mutex; the next worker
+  // then blocked on that mutex while holding the pool mutex, wedging every
+  // session on the server. With the bounded outbound queue the slow
+  // connection overflows its budget and fails alone.
+  auto small = SmallEngine();
+  uint64_t want_digest = 0, want_count = 0;
+  SoloReference(small, &want_digest, &want_count);
+
+  ServerOptions options;
+  options.max_outbound_bytes = 1 << 16;  // overflow quickly
+  Harness h("slowreader", options);
+  h.server->registry().Put("small", small);
+  h.server->registry().Put("huge", HugeEngine());
+  h.StartAndConnect();
+
+  // The slow client starts a result-heavy session and never reads a byte.
+  TestClient slow;
+  ASSERT_TRUE(slow.Connect(h.server_path()));
+  ASSERT_TRUE(slow.Send(HelloMsg{}));
+  StartSessionMsg flood;
+  flood.graph = "huge";
+  flood.batch_results = 1;  // one frame per biclique: maximal backpressure
+  ASSERT_TRUE(slow.Send(flood));
+
+  // A healthy session on another connection still completes, unharmed.
+  StartSessionMsg healthy;
+  healthy.graph = "small";
+  ASSERT_TRUE(h.client.Send(healthy));
+  std::optional<Message> started =
+      h.client.ReadUntil(MsgType::kSessionStarted);
+  ASSERT_TRUE(started.has_value());
+  const uint64_t id = std::get<SessionStartedMsg>(*started).session_id;
+  FingerprintSink sink;
+  std::map<uint64_t, FingerprintSink*> sinks = {{id, &sink}};
+  std::optional<Message> done =
+      h.client.ReadUntil(MsgType::kSessionDone, &sinks);
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(std::get<SessionDoneMsg>(*done).termination,
+            static_cast<uint8_t>(Termination::kComplete));
+  EXPECT_EQ(sink.Digest(), want_digest);
+  EXPECT_EQ(sink.count(), want_count);
+
+  // The flooding session is cancelled by the overflow (its connection
+  // fails) and releases its admission slot — it does not run forever.
+  for (int i = 0; i < 2000 && !h.server->idle(); ++i) usleep(10000);
+  EXPECT_TRUE(h.server->idle());
+}
+
 TEST(ServeTest, CancelOfUnknownSessionIsIgnored) {
   Harness h("cancelnone");
   h.server->registry().Put("g", SmallEngine());

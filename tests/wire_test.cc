@@ -303,10 +303,50 @@ TEST(WireTest, ResultBatchEntryLengthOverrunRejected) {
             util::StatusCode::kCorruptData);
 }
 
+TEST(WireTest, EncodeRejectsMismatchedEdgeArrays) {
+  // Encoding writes edge_left.size() as the edge count; a mismatched
+  // message must fail here instead of producing an undecodable frame.
+  LoadGraphMsg m = MakeLoadGraph();
+  m.edge_right.pop_back();
+  std::vector<uint8_t> frame;
+  EXPECT_EQ(EncodeMessage(m, &frame).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(frame.empty());  // failed encodes leave the output untouched
+}
+
+TEST(WireTest, EncodeRejectsOverlongNames) {
+  std::vector<uint8_t> frame;
+  LoadGraphMsg load;
+  load.name.assign(kMaxNameBytes + 1, 'x');
+  EXPECT_EQ(EncodeMessage(load, &frame).code(),
+            util::StatusCode::kInvalidArgument);
+  StartSessionMsg start;
+  start.graph.assign(kMaxNameBytes + 1, 'x');
+  EXPECT_EQ(EncodeMessage(start, &frame).code(),
+            util::StatusCode::kInvalidArgument);
+  LoadOkMsg ok;
+  ok.name.assign(kMaxNameBytes + 1, 'x');
+  EXPECT_EQ(EncodeMessage(ok, &frame).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
 TEST(WireTest, NameOverLimitFailsDecode) {
-  LoadGraphMsg m;
-  m.name.assign(kMaxNameBytes + 1, 'x');
-  EXPECT_FALSE(DecodeMessage(Encode(m)).ok());
+  // EncodeMessage refuses over-long names, so hand-build the frame: a
+  // kLoadGraph payload whose name field claims kMaxNameBytes + 1 bytes.
+  const uint32_t n = kMaxNameBytes + 1;
+  std::vector<uint8_t> frame = {0, 0, 0, 0,
+                                static_cast<uint8_t>(MsgType::kLoadGraph)};
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>((n >> (8 * i)) & 0xff));
+  }
+  frame.insert(frame.end(), n, 'x');
+  const auto payload =
+      static_cast<uint32_t>(frame.size() - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<size_t>(i)] =
+        static_cast<uint8_t>((payload >> (8 * i)) & 0xff);
+  }
+  EXPECT_FALSE(DecodeMessage(frame).ok());
 }
 
 TEST(WireTest, RejectReasonNamesAreStable) {

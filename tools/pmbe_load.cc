@@ -388,6 +388,7 @@ int main(int argc, char** argv) {
                  "{\n"
                  "  \"benchmark\": \"pmbe_serve mixed workload\",\n"
                  "  \"dataset\": \"%s\",\n"
+                 "  \"scale\": %g,\n"
                  "  \"algorithm\": \"%s\",\n"
                  "  \"sessions\": %d,\n"
                  "  \"concurrent\": %d,\n"
@@ -402,7 +403,8 @@ int main(int argc, char** argv) {
                  "  \"max_queue_wait_ms\": %.2f,\n"
                  "  \"wall_seconds\": %.2f\n"
                  "}\n",
-                 spec.name.c_str(), mbe::AlgorithmName(algorithm),
+                 spec.name.c_str(), flags.GetDouble("scale"),
+                 mbe::AlgorithmName(algorithm),
                  total_sessions, concurrent, completed - incomplete,
                  incomplete, rejected, mismatches,
                  verify && mismatches == 0 ? "true" : "false", p50, p95,

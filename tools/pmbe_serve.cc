@@ -82,7 +82,10 @@ int main(int argc, char** argv) {
     std::printf("loaded %s: %s (build %.3fs)\n", name.c_str(),
                 engine.value()->graph().Summary().c_str(),
                 engine.value()->build_seconds());
-    server.registry().Put(name, std::move(engine).value());
+    if (!server.registry().Put(name, std::move(engine).value())) {
+      std::fprintf(stderr, "duplicate graph name '%s'\n", name.c_str());
+      return 1;
+    }
   }
 
   if (mbe::util::Status status = server.Start(); !status.ok()) {
