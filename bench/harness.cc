@@ -2,12 +2,89 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
+#include "util/simd.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
 namespace mbe::bench {
+
+HostInfo QueryHost() {
+  HostInfo info;
+  info.num_cpus = std::thread::hardware_concurrency();
+  info.cpu_model = "unknown";
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos) info.cpu_model = line.substr(start);
+      }
+      break;
+    }
+  }
+  info.simd_level = simd::DispatchLevelName(simd::ActiveLevel());
+#ifdef NDEBUG
+  info.build_type = "release";
+#else
+  info.build_type = "debug";
+#endif
+  return info;
+}
+
+std::string JsonQuote(const std::string& text) {
+  std::string quoted = "\"";
+  for (char ch : text) {
+    switch (ch) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\t': quoted += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", ch);
+          quoted += hex;
+        } else {
+          quoted += ch;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void WriteJsonContext(std::FILE* out, const std::string& executable,
+                      const std::string& flags_summary,
+                      const std::string& note) {
+  char date[32] = "unknown";
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) != nullptr) {
+    std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_utc);
+  }
+  const HostInfo host = QueryHost();
+  std::fprintf(out, "  \"context\": {\n");
+  std::fprintf(out, "    \"date\": %s,\n", JsonQuote(date).c_str());
+  std::fprintf(out, "    \"executable\": %s,\n",
+               JsonQuote(executable).c_str());
+  std::fprintf(out, "    \"flags\": %s,\n", JsonQuote(flags_summary).c_str());
+  std::fprintf(out, "    \"num_cpus\": %u,\n", host.num_cpus);
+  std::fprintf(out, "    \"cpu_model\": %s,\n",
+               JsonQuote(host.cpu_model).c_str());
+  std::fprintf(out, "    \"simd_level\": %s,\n",
+               JsonQuote(host.simd_level).c_str());
+  std::fprintf(out, "    \"library_build_type\": %s,\n",
+               JsonQuote(host.build_type).c_str());
+  std::fprintf(out, "    \"note\": %s\n", JsonQuote(note).c_str());
+  std::fprintf(out, "  }");
+}
 
 RunOutcome TimedRun(const BipartiteGraph& graph, const Options& options,
                     double budget_seconds, uint64_t max_results) {
@@ -118,8 +195,12 @@ void EmitTable(const Table& table, const util::FlagParser& flags) {
 }
 
 void PrintBanner(const std::string& experiment_id, const std::string& title) {
+  const HostInfo host = QueryHost();
   std::printf("==============================================================\n");
   std::printf("[%s] %s\n", experiment_id.c_str(), title.c_str());
+  std::printf("host: %u cpus, %s, simd %s, %s build\n", host.num_cpus,
+              host.cpu_model.c_str(), host.simd_level.c_str(),
+              host.build_type.c_str());
   std::printf("datasets: synthetic stand-ins (see DESIGN.md S3); compare\n");
   std::printf("shapes (who wins, by what factor), not absolute numbers.\n");
   std::printf("==============================================================\n");
@@ -133,6 +214,9 @@ void AddCommonFlags(util::FlagParser* flags) {
                    "per-run time budget in seconds (0 = unlimited)");
   flags->AddInt("threads", 1, "worker threads for parallel-capable runs");
   flags->AddString("csv", "", "also write the table as CSV to this path");
+  flags->AddString("json", "",
+                   "also record results + host context as JSON to this path "
+                   "(the bench/BENCH_*.json artifact format)");
 }
 
 std::vector<std::string> ResolveSuite(const std::string& suite) {

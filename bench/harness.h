@@ -1,6 +1,7 @@
 #ifndef PMBE_BENCH_HARNESS_H_
 #define PMBE_BENCH_HARNESS_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,31 @@
 /// hit their time budget (reported as ">budget").
 
 namespace mbe::bench {
+
+/// Host metadata stamped into the bench banner and the recorded JSON
+/// artifacts (bench/BENCH_*.json): absolute timings are only comparable
+/// against the host that produced them, so every recording carries it.
+struct HostInfo {
+  unsigned num_cpus = 0;      ///< std::thread::hardware_concurrency()
+  std::string cpu_model;      ///< /proc/cpuinfo "model name" ("unknown" off-Linux)
+  std::string simd_level;     ///< active kernel dispatch level (scalar/sse42/avx2)
+  std::string build_type;     ///< "release" (NDEBUG) or "debug"
+};
+
+/// Queries the current host/build. Never fails; unknown fields degrade to
+/// "unknown" / 0.
+HostInfo QueryHost();
+
+/// Quotes + escapes a string as a JSON string literal (including the
+/// surrounding double quotes).
+std::string JsonQuote(const std::string& text);
+
+/// Writes the shared `"context"` JSON object (indented two spaces, no
+/// trailing comma): ISO date, executable, flag summary, the QueryHost()
+/// fields, and a free-form note.
+void WriteJsonContext(std::FILE* out, const std::string& executable,
+                      const std::string& flags_summary,
+                      const std::string& note);
 
 /// Outcome of a single timed enumeration run.
 struct RunOutcome {

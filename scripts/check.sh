@@ -13,7 +13,9 @@
 # required to enumerate identical bicliques; the fault-injection matrix
 # (-DPMBE_FAULT_INJECTION=ON + ASan: countdown sweep over every fault
 # point, chaos rounds, CLI/env arming, graph_io fuzz smoke); a
-# memory-budget proof; and the TSan leg.
+# memory-budget proof; the durable-frontier leg (fault- and SIGKILL-
+# interrupted checkpointing runs resumed, plus a 4-process shard merge,
+# all digest-identical to uninterrupted runs); and the TSan leg.
 #
 #   scripts/check.sh [build-dir]        # default build dir: build-asan
 
@@ -163,6 +165,109 @@ echo "$env_out" | grep -q "stopped early: internal" || {
 }
 echo "fault matrix OK"
 
+echo "=== durable-frontier leg: fault + SIGKILL interrupts, resume, shard merge ==="
+# The restart-correctness contract of docs/CHECKPOINT.md, proven live
+# under ASan: the frontier digest of an interrupted-then-resumed run — or
+# of four merged per-process shards — is bit-identical to the digest of an
+# uninterrupted single-process checkpointed run of the same graph and
+# algorithm, for every parallel algorithm family at 1 and 8 threads.
+CKPT_DIR=$(mktemp -d /tmp/pmbe_ckpt_XXXXXX)
+digest_of() { grep -o 'frontier digest: 0x[0-9a-f]*' | head -1 | awk '{print $3}'; }
+declare -A durable_ref
+for algo in mbet mbea imbea; do
+  for threads in 1 8; do
+    tag="$algo t=$threads"
+    ref=$("$FAULT_DIR/tools/pmbe" --dataset DBT --scale 0.1 \
+          --algorithm "$algo" --threads "$threads" \
+          --checkpoint_path "$CKPT_DIR/ref.snap" --stats=false | digest_of)
+    [[ -n "$ref" ]] || { echo "FAIL: [$tag] no reference digest" >&2; exit 1; }
+    echo "  [$tag] reference digest $ref"
+    # The digest is scheduling-independent, so both thread counts of an
+    # algorithm must already agree before any interruption happens.
+    if [[ -n "${durable_ref[$algo]:-}" && "${durable_ref[$algo]}" != "$ref" ]]; then
+      echo "FAIL: [$tag] digest differs across thread counts" >&2
+      exit 1
+    fi
+    durable_ref[$algo]="$ref"
+
+    # Round 1: an injected worker failure interrupts the run mid-frontier;
+    # the final crash snapshot must resume to the reference digest.
+    rm -f "$CKPT_DIR/fault.snap"
+    fault_out=$(PMBE_FAULT_INJECT='worker.task:5' "$FAULT_DIR/tools/pmbe" \
+                --dataset DBT --scale 0.1 --algorithm "$algo" \
+                --threads "$threads" --checkpoint_path "$CKPT_DIR/fault.snap" \
+                --stats=false)
+    echo "$fault_out" | grep -q "stopped early: internal" || {
+      echo "FAIL: [$tag] worker.task fault did not interrupt the run" >&2
+      exit 1
+    }
+    echo "$fault_out" | grep -q " 0 pending)" && {
+      echo "FAIL: [$tag] fault-interrupted snapshot has no pending tasks" >&2
+      exit 1
+    }
+    resumed=$("$FAULT_DIR/tools/pmbe" --dataset DBT --scale 0.1 \
+              --algorithm "$algo" --threads "$threads" \
+              --checkpoint_path "$CKPT_DIR/fault.snap" --resume \
+              --stats=false | digest_of)
+    [[ "$resumed" == "$ref" ]] || {
+      echo "FAIL: [$tag] fault-resume digest $resumed != reference $ref" >&2
+      exit 1
+    }
+    echo "  [$tag] fault interrupt + resume OK"
+
+    # Round 2: SIGKILL — no cleanup path at all. The sanitizer build takes
+    # seconds on this graph while snapshots land every 0.1s, so killing as
+    # soon as the first snapshot appears lands mid-enumeration (tmp+rename
+    # keeps the file complete no matter when the kill hits); the crash
+    # file must resume to the reference digest.
+    rm -f "$CKPT_DIR/kill.snap"
+    "$FAULT_DIR/tools/pmbe" \
+      --dataset DBT --scale 0.1 --algorithm "$algo" --threads "$threads" \
+      --checkpoint_path "$CKPT_DIR/kill.snap" --checkpoint_every_s 0.1 \
+      --stats=false >/dev/null 2>&1 &
+    KILL_PID=$!
+    for _ in $(seq 150); do
+      [[ -s "$CKPT_DIR/kill.snap" ]] && break
+      sleep 0.1
+    done
+    kill -9 "$KILL_PID" 2>/dev/null && killed=yes || killed="no (run finished first)"
+    wait "$KILL_PID" 2>/dev/null || true
+    [[ -s "$CKPT_DIR/kill.snap" ]] || {
+      echo "FAIL: [$tag] no snapshot on disk before the kill" >&2
+      exit 1
+    }
+    resumed=$("$FAULT_DIR/tools/pmbe" --dataset DBT --scale 0.1 \
+              --algorithm "$algo" --threads "$threads" \
+              --checkpoint_path "$CKPT_DIR/kill.snap" --resume \
+              --stats=false | digest_of)
+    [[ "$resumed" == "$ref" ]] || {
+      echo "FAIL: [$tag] SIGKILL-resume digest $resumed != reference $ref" >&2
+      exit 1
+    }
+    echo "  [$tag] SIGKILL + resume OK (killed: $killed)"
+  done
+
+  # Round 3: four hash-sharded processes, each enumerating a quarter of
+  # the seed space into its own snapshot; the offline merge must
+  # reproduce the single-process digest exactly.
+  for i in 0 1 2 3; do
+    "$FAULT_DIR/tools/pmbe" --dataset DBT --scale 0.1 --algorithm "$algo" \
+      --threads 8 --process_shard "$i/4" \
+      --checkpoint_path "$CKPT_DIR/shard$i.snap" --stats=false >/dev/null
+  done
+  merged=$("$FAULT_DIR/tools/pmbe" --merge_checkpoints \
+           "$CKPT_DIR/shard0.snap,$CKPT_DIR/shard1.snap,$CKPT_DIR/shard2.snap,$CKPT_DIR/shard3.snap" \
+           | digest_of)
+  [[ "$merged" == "${durable_ref[$algo]}" ]] || {
+    echo "FAIL: [$algo] 4-shard merged digest $merged != reference" \
+         "${durable_ref[$algo]}" >&2
+    exit 1
+  }
+  echo "  [$algo] 4-process shard merge OK ($merged)"
+done
+rm -rf "$CKPT_DIR"
+echo "durable-frontier leg OK"
+
 echo "=== serve leg: daemon + concurrent sessions under ASan + faults ==="
 # The serving stack (docs/SERVICE.md) under the sanitizer/fault build:
 # pmbe_serve on a Unix socket, pmbe_load running a mixed concurrent
@@ -261,6 +366,9 @@ echo "memory-budget proof OK"
 
 echo "=== graph_io fuzz smoke (bad-input corpus + mutation loop) ==="
 "$FAULT_DIR/tools/fuzz_graph_io" -runs=20000 tests/data/bad/*.txt
+
+echo "=== frontier-snapshot fuzz smoke (codec canonicity + typed errors) ==="
+"$FAULT_DIR/tools/fuzz_frontier" -runs=20000
 
 echo "=== ThreadSanitizer leg: work-stealing deque + parallel driver ==="
 # The Chase–Lev deque keeps all shared state in std::atomic precisely so

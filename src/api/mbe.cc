@@ -32,6 +32,7 @@ RunOptions Options::run_options() const {
   run.control = control;
   run.max_memory_bytes = max_memory_bytes;
   run.watchdog_stall_seconds = watchdog_stall_seconds;
+  run.checkpoint = checkpoint;
   return run;
 }
 

@@ -84,7 +84,7 @@ struct Options {
   bool auto_swap_sides = true;
 
   /// Worker threads. >1 uses the per-vertex subtree decomposition, which
-  /// is supported by kMbet, kMbetM, kImbea and kOombeaLite.
+  /// is supported by every algorithm except kMineLmbc.
   unsigned threads = 1;
   Scheduling scheduling = Scheduling::kStealing;
 
@@ -129,6 +129,13 @@ struct Options {
   /// hanging it. The bound is on the longest single task, so leave it
   /// off unless task durations are known (see docs/ROBUSTNESS.md).
   double watchdog_stall_seconds = 0;
+
+  /// Durable checkpointing (docs/CHECKPOINT.md): a non-empty
+  /// `checkpoint.path` persists the task frontier there periodically and
+  /// at drain, `checkpoint.resume` picks a previous snapshot back up, and
+  /// the shard fields restrict the process to one hash shard of the seed
+  /// space. Requires kStealing and a parallel-capable algorithm.
+  snapshot::CheckpointOptions checkpoint;
 
   /// The preprocessing half: what `Engine::Build` consumes. Core
   /// reduction is enabled only for the size-filtering MBET family, exactly

@@ -48,7 +48,8 @@ const char* AlgorithmName(Algorithm algorithm) {
 
 bool SupportsParallel(Algorithm algorithm) {
   return algorithm == Algorithm::kMbet || algorithm == Algorithm::kMbetM ||
-         algorithm == Algorithm::kImbea || algorithm == Algorithm::kOombeaLite;
+         algorithm == Algorithm::kMbea || algorithm == Algorithm::kImbea ||
+         algorithm == Algorithm::kOombeaLite;
 }
 
 util::Status GraphOptions::Validate() const {
@@ -104,6 +105,42 @@ util::Status RunOptions::Validate() const {
   if (!(watchdog_stall_seconds >= 0)) {  // negatives and NaN
     return util::Status::InvalidArgument(
         "watchdog_stall_seconds must be >= 0 (0 disables the watchdog)");
+  }
+  const bool durable = checkpoint.enabled() || checkpoint.resume ||
+                       checkpoint.shard_count != 1 ||
+                       checkpoint.checkpoint_stop != nullptr;
+  if (durable) {
+    if (!SupportsParallel(algorithm)) {
+      return util::Status::InvalidArgument(
+          std::string("algorithm ") + AlgorithmName(algorithm) +
+          " does not support the per-vertex subtree decomposition, which "
+          "checkpointing is built on");
+    }
+    if (scheduling != Scheduling::kStealing) {
+      return util::Status::InvalidArgument(
+          "checkpointing requires scheduling == kStealing (the task "
+          "frontier records the stealing scheduler's task lifecycle)");
+    }
+    if (!(checkpoint.every_s > 0)) {  // zero, negatives and NaN
+      return util::Status::InvalidArgument(
+          "checkpoint.every_s must be > 0");
+    }
+  }
+  if (checkpoint.shard_count == 0) {
+    return util::Status::InvalidArgument(
+        "checkpoint.shard_count must be >= 1");
+  }
+  if (checkpoint.shard_index >= checkpoint.shard_count) {
+    return util::Status::InvalidArgument(
+        "checkpoint.shard_index must be < checkpoint.shard_count");
+  }
+  if ((checkpoint.resume || checkpoint.shard_count > 1 ||
+       checkpoint.checkpoint_stop != nullptr) &&
+      !checkpoint.enabled()) {
+    return util::Status::InvalidArgument(
+        "checkpoint.resume, sharded runs, and the checkpoint-stop token "
+        "all need checkpoint.path (resume reads it; a stopped or sharded "
+        "run's state is only reachable through its snapshot file)");
   }
   return util::Status::Ok();
 }

@@ -8,6 +8,7 @@
 #include "core/run_control.h"
 #include "graph/ordering.h"
 #include "parallel/thread_pool.h"
+#include "snapshot/checkpoint.h"
 #include "util/status.h"
 
 /// \file
@@ -126,9 +127,20 @@ struct RunOptions {
   /// only; 0 = off). See docs/ROBUSTNESS.md.
   double watchdog_stall_seconds = 0;
 
+  /// Durable checkpointing (docs/CHECKPOINT.md). A non-empty
+  /// `checkpoint.path` makes the run frontier-driven: the task frontier is
+  /// persisted there periodically and at drain, `checkpoint.resume` picks
+  /// a previous snapshot back up (completed subtrees are never re-run),
+  /// and `checkpoint.shard_index / shard_count` restrict this process to
+  /// its hash shard of the seed space for multi-process runs. Requires
+  /// Scheduling::kStealing and a parallel-capable algorithm (threads may
+  /// still be 1 — durability and parallelism are orthogonal).
+  snapshot::CheckpointOptions checkpoint;
+
   /// Checks the options for internal consistency: thread count, parallel
   /// support of the chosen algorithm, size-threshold sanity, run-control
-  /// sanity. OK options never make Session::Run abort.
+  /// sanity, checkpoint coherence. OK options never make Session::Run
+  /// abort.
   util::Status Validate() const;
 };
 

@@ -105,10 +105,13 @@ class MbetWorker : public SubtreeWorker {
   MbetEnumerator engine_;
 };
 
-class ImbeaWorker : public SubtreeWorker {
+/// Subtree worker over the MBEA family: plain MBEA (improved = false) and
+/// iMBEA (improved = true) share the enumerator and its shard support.
+class MbeaFamilyWorker : public SubtreeWorker {
  public:
-  ImbeaWorker(const BipartiteGraph& graph, RunController* controller)
-      : engine_(graph, MbeaOptions{.improved = true}) {
+  MbeaFamilyWorker(const BipartiteGraph& graph, const MbeaOptions& options,
+                   RunController* controller)
+      : engine_(graph, options) {
     engine_.SetRunController(controller);
   }
   void EnumerateSubtree(VertexId v, ResultSink* sink) override {
@@ -238,6 +241,7 @@ util::Status Session::PrepareImpl(ResultSink* sink, bool force_controller) {
   const bool wants_controller =
       force_controller || options_.control.active() ||
       options_.max_memory_bytes > 0 || options_.watchdog_stall_seconds > 0 ||
+      options_.checkpoint.enabled() ||
       util::FaultRegistry::Global().armed() ||
       pre_cancelled_.load(std::memory_order_acquire);
   if (wants_controller) {
@@ -292,13 +296,14 @@ std::unique_ptr<SubtreeWorker> Session::MakeWorker() const {
       // The subtree decomposition runs iMBEA workers for both (the
       // unilateral-order specialization is whole-graph only) — same as the
       // parallel driver always did.
-      return std::make_unique<ImbeaWorker>(work, ctrl);
+      return std::make_unique<MbeaFamilyWorker>(
+          work, MbeaOptions{.improved = true}, ctrl);
+    case Algorithm::kMbea:
+      return std::make_unique<MbeaFamilyWorker>(
+          work, MbeaOptions{.improved = false}, ctrl);
     case Algorithm::kMineLmbc:
       return std::make_unique<WholeGraphWorker<MineLmbcEnumerator>>(ctrl,
                                                                     work);
-    case Algorithm::kMbea:
-      return std::make_unique<WholeGraphWorker<MbeaEnumerator>>(
-          ctrl, work, MbeaOptions{.improved = false});
   }
   return nullptr;
 }
@@ -354,6 +359,9 @@ void Session::Finish(RunResult* result) {
     out.termination = Termination::kComplete;
     out.results_emitted = out.stats.maximal;
   }
+  out.frontier_digest = frontier_digest_;
+  out.frontier_completed = frontier_completed_;
+  out.frontier_pending = frontier_pending_;
   budget_.EndRun();
   if (result != nullptr) *result = std::move(out);
 }
@@ -367,8 +375,45 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
   RunController* ctrl = controller();
   const BipartiteGraph& work = engine_->graph();
 
+  // Durable runs are frontier-driven (docs/CHECKPOINT.md): build the task
+  // frontier before enumeration, either restoring a previous snapshot or
+  // seeding this process's hash shard of the right side. Setup failures
+  // (unreadable, corrupt, or mismatched snapshot) surface as a Status
+  // before any worker starts.
+  std::unique_ptr<snapshot::TaskFrontier> frontier;
+  if (options_.checkpoint.enabled()) {
+    frontier = std::make_unique<snapshot::TaskFrontier>(
+        static_cast<uint8_t>(options_.algorithm),
+        options_.checkpoint.shard_index, options_.checkpoint.shard_count,
+        work);
+    util::Status seeded = util::Status::Ok();
+    if (options_.checkpoint.resume) {
+      util::StatusOr<snapshot::FrontierSnapshot> snap =
+          snapshot::ReadSnapshotFile(options_.checkpoint.path);
+      seeded = snap.ok() ? frontier->Restore(snap.value()) : snap.status();
+    } else {
+      for (uint64_t v = 0; v < work.num_right(); ++v) {
+        if (options_.checkpoint.shard_count > 1 &&
+            snapshot::ShardOfSeed(static_cast<VertexId>(v),
+                                  options_.checkpoint.shard_count) !=
+                options_.checkpoint.shard_index) {
+          continue;
+        }
+        frontier->AddPending(EncodeTask(
+            {.v = static_cast<VertexId>(v), .shard = 0, .num_shards = 1}));
+      }
+    }
+    if (!seeded.ok()) {
+      finished_ = true;
+      budget_.EndRun();
+      return seeded;
+    }
+  }
+
   auto run_enumeration = [&]() {
-    if (options_.threads > 1) {
+    // Durable runs always go through the parallel driver, even with one
+    // thread: the frontier bookkeeping and the checkpointer live there.
+    if (options_.threads > 1 || frontier != nullptr) {
       ParallelOptions popts;
       popts.threads = options_.threads;
       popts.scheduling = options_.scheduling;
@@ -376,6 +421,8 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
       popts.budget = &budget_;
       popts.max_split = options_.max_split;
       popts.watchdog_stall_seconds = options_.watchdog_stall_seconds;
+      popts.frontier = frontier.get();
+      popts.checkpoint = options_.checkpoint;
       WorkerFactory factory = [this]() { return MakeWorker(); };
       EnumStats merged = ParallelEnumerate(work, factory, popts, run_sink_);
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -443,6 +490,11 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
       return util::Status::Internal("enumeration failed: unknown exception");
     }
     ctrl->ReportInternal("unknown exception");
+  }
+  if (frontier != nullptr) {
+    frontier_digest_ = frontier->MergedDigest().Value();
+    frontier_completed_ = frontier->completed_count();
+    frontier_pending_ = frontier->pending_count();
   }
   Finish(result);
   return util::Status::Ok();

@@ -65,6 +65,17 @@ struct RunResult {
   /// runs).
   uint64_t session_id = 0;
 
+  /// Durable-run accounting (checkpointing runs only; all zero otherwise).
+  /// `frontier_digest` folds the completed-task result digests
+  /// (snapshot/frontier.h TaskDigest::Value): independent of threads,
+  /// scheduling, and split structure, so a resumed run and an
+  /// uninterrupted run that completed the same enumeration report the
+  /// same digest. `frontier_pending` > 0 means the run stopped early and
+  /// the snapshot file resumes it.
+  uint64_t frontier_digest = 0;
+  uint64_t frontier_completed = 0;
+  uint64_t frontier_pending = 0;
+
   /// Convenience: did the run enumerate the complete result set?
   bool complete() const { return termination == Termination::kComplete; }
 };
@@ -179,6 +190,12 @@ class Session {
   uint64_t kernel_difference_before_ = 0;
   uint64_t kernel_mask_before_ = 0;
   uint64_t kernel_word_before_ = 0;
+
+  /// Frontier accounting of a durable standalone Run, copied into the
+  /// RunResult by Finish (zero for volatile runs).
+  uint64_t frontier_digest_ = 0;
+  uint64_t frontier_completed_ = 0;
+  uint64_t frontier_pending_ = 0;
 
   /// Merged worker counters (guarded by stats_mu_).
   std::mutex stats_mu_;

@@ -95,6 +95,9 @@ struct EnumStats {
   /// a shared scheduler (serve/session_pool.h), in nanoseconds. 0 for
   /// standalone runs.
   uint64_t queue_wait_ns = 0;
+  /// Frontier snapshots persisted by a checkpointing run (periodic plus
+  /// the final one at drain; snapshot/checkpoint.h).
+  uint64_t checkpoints_written = 0;
 
   void MergeFrom(const EnumStats& other) {
     nodes_expanded += other.nodes_expanded;
@@ -130,6 +133,7 @@ struct EnumStats {
     }
     watchdog_checks += other.watchdog_checks;
     queue_wait_ns += other.queue_wait_ns;
+    checkpoints_written += other.checkpoints_written;
   }
 };
 

@@ -20,6 +20,8 @@ const char* TerminationName(Termination termination) {
       return "memory-limit";
     case Termination::kInternal:
       return "internal";
+    case Termination::kCheckpointed:
+      return "checkpointed";
   }
   return "?";
 }

@@ -57,10 +57,13 @@ enum class Termination {
                   ///< valid prefix emitted before the stop
   kInternal,      ///< a component failed (throwing sink, stalled worker,
                   ///< injected fault); RunResult::message says what
+  kCheckpointed,  ///< a checkpoint-stop request (e.g. SIGTERM on a durable
+                  ///< run) stopped the run after persisting the task
+                  ///< frontier; resume with --resume (docs/CHECKPOINT.md)
 };
 
 /// Stable display name ("complete", "cancelled", "deadline", "budget",
-/// "memory-limit", "internal").
+/// "memory-limit", "internal", "checkpointed").
 const char* TerminationName(Termination termination);
 
 /// Snapshot handed to the progress callback.

@@ -4,11 +4,13 @@
 #include <chrono>
 #include <exception>
 #include <mutex>
-#include <numeric>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/biclique.h"
 #include "util/common.h"
 #include "util/fault.h"
 #include "util/memory.h"
@@ -51,6 +53,38 @@ struct FailureLatch {
   }
 };
 
+/// Worker-local digest capture for frontier mode: accumulates the
+/// commutative (sum, xor, count) digest of one task's emissions on their
+/// way into the worker's BufferedSink, before batching erases task
+/// boundaries. Reset at task pickup, committed to the frontier at task
+/// completion. Not thread-safe — strictly worker-local, like the buffer
+/// it wraps.
+class TaskDigestSink : public ResultSink {
+ public:
+  explicit TaskDigestSink(ResultSink* inner) : inner_(inner) {}
+
+  void Reset() { digest_ = snapshot::TaskDigest{}; }
+  const snapshot::TaskDigest& digest() const { return digest_; }
+
+  void Emit(std::span<const VertexId> left,
+            std::span<const VertexId> right) override {
+    const uint64_t h = HashBiclique(left, right);
+    digest_.sum += h;
+    digest_.xr ^= h;
+    ++digest_.count;
+    inner_->Emit(left, right);
+  }
+
+  // EmitBatch: the default per-entry fallback keeps the digest exact for
+  // any engine that batches (the current engines emit singly).
+
+  bool ShouldStop() const override { return inner_->ShouldStop(); }
+
+ private:
+  ResultSink* inner_;
+  snapshot::TaskDigest digest_;
+};
+
 /// Per-worker state of the stealing scheduler. The deque is shared (thieves
 /// touch it); everything else is owner-private until the final join.
 struct StealWorkerState {
@@ -69,34 +103,50 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
                           const WorkerFactory& factory,
                           const ParallelOptions& options, ResultSink* sink) {
   const uint64_t n = graph.num_right();
-  const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
-      std::max(1u, options.threads), std::max<uint64_t>(1, n)));
   const uint32_t max_split =
       std::min<uint32_t>(std::max<uint32_t>(1, options.max_split),
                          kMaxTaskShards);
   RunController* controller = options.controller;
+  snapshot::TaskFrontier* frontier = options.frontier;
 
-  // Seed order: right-degree ascending. Each worker's seeds are pushed
-  // lightest-first, so the owner (LIFO at the bottom) starts on its
-  // heaviest subtree while thieves (FIFO at the top) take the light tail.
-  // Degree is the cheap seeding proxy; the accurate EstimateSubtreeWork
-  // needs the built root and is what SplitHint uses at pickup.
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), VertexId{0});
-  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return graph.RightDegree(a) < graph.RightDegree(b);
+  // Seed tasks: the whole right side for a volatile run; the frontier's
+  // live set for a durable one (fresh seeds, a process shard of them, or
+  // a restored snapshot's pending + in-flight tasks — completed tasks are
+  // simply absent, which is how "never re-run" is enforced). Seed order:
+  // right-degree ascending. Each worker's seeds are pushed lightest-first,
+  // so the owner (LIFO at the bottom) starts on its heaviest subtree while
+  // thieves (FIFO at the top) take the light tail. Degree is the cheap
+  // seeding proxy; the accurate EstimateSubtreeWork needs the built root
+  // and is what SplitHint uses at pickup.
+  std::vector<uint64_t> seeds;
+  if (frontier != nullptr) {
+    seeds = frontier->PendingTasks();
+  } else {
+    seeds.reserve(n);
+    for (uint64_t v = 0; v < n; ++v) {
+      seeds.push_back(EncodeTask(
+          {.v = static_cast<VertexId>(v), .shard = 0, .num_shards = 1}));
+    }
+  }
+  std::stable_sort(seeds.begin(), seeds.end(), [&](uint64_t a, uint64_t b) {
+    return graph.RightDegree(DecodeTask(a).v) <
+           graph.RightDegree(DecodeTask(b).v);
   });
 
+  // No point spinning more workers than there are seed tasks (splits can
+  // add tasks later, but a resumed tail is typically short-lived anyway).
+  const uint64_t num_tasks = seeds.size();
+  const unsigned workers = static_cast<unsigned>(std::min<uint64_t>(
+      std::max(1u, options.threads), std::max<uint64_t>(1, num_tasks)));
   std::vector<StealWorkerState> states(workers);
-  for (uint64_t rank = 0; rank < n; ++rank) {
-    states[rank % workers].deque.Push(
-        EncodeTask({.v = order[rank], .shard = 0, .num_shards = 1}));
+  for (uint64_t rank = 0; rank < num_tasks; ++rank) {
+    states[rank % workers].deque.Push(seeds[rank]);
   }
 
   // Outstanding tasks across all deques and in-flight executions. A split
   // turns one task into k, so the splitter adds k-1. Workers drain until
   // this reaches zero (or the controller trips).
-  std::atomic<uint64_t> remaining{n};
+  std::atomic<uint64_t> remaining{num_tasks};
   // Workers currently hunting for work. Any starving thief lowers the
   // split bar for everyone, so busy workers break up mid-sized subtrees
   // they would otherwise run whole.
@@ -136,6 +186,12 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
     SubtreeWorker* engine = engines[w].get();
     BufferedSink* buffered = buffers[w].get();
     StealWorkerState& st = states[w];
+    // Frontier mode interposes the per-task digest capture between the
+    // engine and the buffer; volatile runs keep the direct path.
+    TaskDigestSink digest_sink(buffered);
+    ResultSink* const task_sink =
+        frontier != nullptr ? static_cast<ResultSink*>(&digest_sink)
+                            : static_cast<ResultSink*>(buffered);
     util::Rng rng(0x5eedULL * (w + 1) + 0x9e3779b97f4a7c15ULL);
 
     auto stopped = [&]() {
@@ -147,6 +203,7 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
       StealTask task = DecodeTask(word);
       heartbeats[w].store(NowNs(), std::memory_order_relaxed);
       if (!stopped()) {
+        if (frontier != nullptr) digest_sink.Reset();
         try {
           // "worker.task" models a worker failing at pickup;
           // "worker.stall" pauses long enough for an armed watchdog (any
@@ -172,6 +229,10 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
               const uint32_t k = engine->SplitHint(task.v, max_split, bar);
               if (k > 1) {
                 PMBE_DCHECK(k <= max_split);
+                // Record the split before any shard is visible to a
+                // thief: the shard words must be live in the frontier
+                // before a thief can steal and complete one.
+                if (frontier != nullptr) frontier->RecordSplit(word, k);
                 for (uint32_t s = k; s-- > 1;) {
                   // Push high shards first so the owner resumes on shard 1
                   // and thieves take the later shards.
@@ -186,8 +247,15 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
           }
           const uint64_t t0 = NowNs();
           engine->EnumerateShard(task.v, task.shard, task.num_shards,
-                                 buffered);
+                                 task_sink);
           st.busy_ns += NowNs() - t0;
+          if (frontier != nullptr && !stopped() && !task_sink->ShouldStop()) {
+            // The shard ran to its end: commit its digest, exactly once.
+            // A stopped or truncated task stays live and re-runs in full
+            // on resume — its digest was never committed, so nothing
+            // counts twice.
+            frontier->MarkCompleted(EncodeTask(task), digest_sink.digest());
+          }
         } catch (const std::exception& e) {
           failure.Record(e.what());
         } catch (...) {
@@ -286,6 +354,54 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
     });
   }
 
+  // Checkpointer (frontier mode): periodically persists the frontier to
+  // the checkpoint path (quiescent-point snapshots — every frontier
+  // transition is atomic, so a snapshot at any instant is consistent) and
+  // polls the checkpoint-stop token into a typed kCheckpointed stop. A
+  // failed write breaks the durability contract, so it is treated like a
+  // worker failure: the run stops with kInternal rather than carrying on
+  // silently un-checkpointed.
+  std::thread checkpointer;
+  std::atomic<bool> checkpointer_stop{false};
+  std::atomic<uint64_t> checkpoints_written{0};
+  const bool persisting = frontier != nullptr && options.checkpoint.enabled();
+  const std::atomic<bool>* stop_token =
+      (frontier != nullptr && controller != nullptr)
+          ? options.checkpoint.checkpoint_stop
+          : nullptr;
+  if (persisting || stop_token != nullptr) {
+    checkpointer = std::thread([&] {
+      const uint64_t every_ns =
+          (persisting && options.checkpoint.every_s > 0)
+              ? static_cast<uint64_t>(options.checkpoint.every_s * 1e9)
+              : ~uint64_t{0};
+      uint64_t last = NowNs();
+      bool stop_sent = false;
+      while (!checkpointer_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (stop_token != nullptr && !stop_sent &&
+            stop_token->load(std::memory_order_relaxed)) {
+          stop_sent = true;
+          controller->RequestStop(Termination::kCheckpointed);
+        }
+        if (every_ns != ~uint64_t{0} && NowNs() - last >= every_ns) {
+          last = NowNs();
+          const util::Status written = snapshot::WriteSnapshotFile(
+              options.checkpoint.path, frontier->BuildSnapshot());
+          if (!written.ok()) {
+            try {
+              throw std::runtime_error(written.ToString());
+            } catch (...) {
+              failure.Record(written.ToString());
+            }
+            return;
+          }
+          checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
   if (workers == 1) {
     worker_main(0);
   } else {
@@ -299,6 +415,27 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
     watchdog_stop.store(true, std::memory_order_release);
     watchdog.join();
   }
+  if (checkpointer.joinable()) {
+    checkpointer_stop.store(true, std::memory_order_release);
+    checkpointer.join();
+  }
+  // Final snapshot at drain — written on every exit path (clean finish,
+  // cancellation, checkpointed stop, contained worker failure): the
+  // frontier is consistent in all of them, and a snapshot with pending
+  // tasks is exactly what makes the run resumable.
+  if (persisting) {
+    const util::Status written = snapshot::WriteSnapshotFile(
+        options.checkpoint.path, frontier->BuildSnapshot());
+    if (written.ok()) {
+      checkpoints_written.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        throw std::runtime_error(written.ToString());
+      } catch (...) {
+        failure.Record(written.ToString());
+      }
+    }
+  }
   failure.MaybeRethrow();
 
   EnumStats merged;
@@ -311,6 +448,8 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
     merged.idle_ns += states[w].idle_ns;
   }
   merged.watchdog_checks = watchdog_checks.load(std::memory_order_relaxed);
+  merged.checkpoints_written =
+      checkpoints_written.load(std::memory_order_relaxed);
   return merged;
 }
 
@@ -388,6 +527,13 @@ EnumStats ParallelEnumerate(const BipartiteGraph& graph,
                             const WorkerFactory& factory,
                             const ParallelOptions& options, ResultSink* sink) {
   PMBE_CHECK(sink != nullptr);
+  // Frontier-driven runs always take the stealing path (the frontier
+  // records the task lifecycle the deques implement; options.Validate
+  // enforces kStealing at the API layer) and skip the empty-graph early
+  // return so even a trivially complete run writes its final snapshot.
+  if (options.frontier != nullptr) {
+    return RunWorkStealing(graph, factory, options, sink);
+  }
   if (graph.num_right() == 0) return EnumStats{};
   if (options.scheduling == Scheduling::kStealing) {
     return RunWorkStealing(graph, factory, options, sink);

@@ -10,6 +10,8 @@
 #include "graph/bipartite_graph.h"
 #include "parallel/thread_pool.h"
 #include "parallel/work_stealing.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/frontier.h"
 
 /// \file
 /// The shared-memory parallel MBE driver. It fans the per-vertex subtree
@@ -120,6 +122,26 @@ struct ParallelOptions {
   /// legitimately giant subtree between heartbeats is indistinguishable
   /// from a stuck one. See docs/ROBUSTNESS.md.
   double watchdog_stall_seconds = 0;
+
+  /// Durable task frontier (snapshot/frontier.h); null runs volatile, as
+  /// before. When set, the stealing driver takes its seed tasks from the
+  /// frontier's pending set instead of the whole right side, records every
+  /// split and completion (with a per-task result digest) in it, and never
+  /// re-runs a task the frontier already logged as completed — the
+  /// substrate of checkpoint/resume and multi-process sharding
+  /// (docs/CHECKPOINT.md). The caller owns the frontier and seeds it
+  /// (fresh, restored from a snapshot, or one process shard of the seed
+  /// space). Requires Scheduling::kStealing.
+  snapshot::TaskFrontier* frontier = nullptr;
+
+  /// Checkpoint persistence over `frontier` (ignored when frontier is
+  /// null): `checkpoint.path` receives periodic snapshots every
+  /// `checkpoint.every_s` seconds plus one final snapshot at drain, all
+  /// written crash-safely (tmp+rename). `checkpoint.checkpoint_stop`
+  /// turning true stops the run with Termination::kCheckpointed (needs a
+  /// controller). The resume/shard fields are consumed by the caller when
+  /// seeding the frontier, not by the driver.
+  snapshot::CheckpointOptions checkpoint;
 };
 
 /// Runs the full enumeration of `graph` with `factory`-produced workers.

@@ -47,7 +47,7 @@ struct StealTask {
 
 inline constexpr uint32_t kMaxTaskShards = 0xffff;
 
-inline uint64_t EncodeTask(const StealTask& task) {
+constexpr uint64_t EncodeTask(const StealTask& task) {
   PMBE_DCHECK(task.num_shards >= 1 && task.num_shards <= kMaxTaskShards);
   PMBE_DCHECK(task.shard < task.num_shards);
   return (static_cast<uint64_t>(task.v) << 32) |
@@ -55,13 +55,24 @@ inline uint64_t EncodeTask(const StealTask& task) {
          static_cast<uint64_t>(task.num_shards & 0xffff);
 }
 
-inline StealTask DecodeTask(uint64_t word) {
+constexpr StealTask DecodeTask(uint64_t word) {
   StealTask task;
   task.v = static_cast<VertexId>(word >> 32);
   task.shard = static_cast<uint32_t>((word >> 16) & 0xffff);
   task.num_shards = static_cast<uint32_t>(word & 0xffff);
   return task;
 }
+
+// The frontier snapshot file format (snapshot/frontier.h) persists these
+// words verbatim, so the 32/16/16 packing is an on-disk contract now, not
+// just an in-memory convenience. Pin it.
+static_assert(EncodeTask({.v = 0xdeadbeefu, .shard = 0x1234u,
+                          .num_shards = 0xffffu}) == 0xdeadbeef1234ffffULL,
+              "task packing must stay v:[32,64) shard:[16,32) k:[0,16)");
+static_assert(DecodeTask(0xdeadbeef1234ffffULL).v == 0xdeadbeefu &&
+                  DecodeTask(0xdeadbeef1234ffffULL).shard == 0x1234u &&
+                  DecodeTask(0xdeadbeef1234ffffULL).num_shards == 0xffffu,
+              "task unpacking must invert the packing bit-exactly");
 
 /// Chase–Lev work-stealing deque of encoded tasks.
 ///

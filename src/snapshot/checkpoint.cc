@@ -1,0 +1,165 @@
+#include "snapshot/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace mbe::snapshot {
+
+namespace {
+
+/// Directory part of `path` ("." when there is none) — the fsync target
+/// that makes the rename itself durable.
+std::string DirOf(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+util::Status IoFail(const std::string& what, const std::string& path) {
+  return util::Status::IoError(what + " " + path + ": " +
+                               std::strerror(errno));
+}
+
+}  // namespace
+
+util::Status WriteSnapshotFile(const std::string& path,
+                               const FrontierSnapshot& snap) {
+  std::vector<uint8_t> bytes;
+  PMBE_RETURN_IF_ERROR(EncodeSnapshot(snap, &bytes));
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return IoFail("cannot create", tmp);
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const util::Status failed = IoFail("write failed for", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return failed;
+    }
+    off += static_cast<size_t>(n);
+  }
+  // fsync before rename: the rename must never publish a file whose bytes
+  // are still only in the page cache.
+  if (::fsync(fd) != 0) {
+    const util::Status failed = IoFail("fsync failed for", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return failed;
+  }
+  if (::close(fd) != 0) {
+    const util::Status failed = IoFail("close failed for", tmp);
+    ::unlink(tmp.c_str());
+    return failed;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const util::Status failed = IoFail("rename failed onto", path);
+    ::unlink(tmp.c_str());
+    return failed;
+  }
+  // Make the rename durable too. Failure here is not fatal to atomicity
+  // (the data file itself is synced), so a directory that cannot be
+  // opened/synced — some filesystems refuse — is tolerated.
+  const int dfd = ::open(DirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return util::Status::Ok();
+}
+
+util::StatusOr<FrontierSnapshot> ReadSnapshotFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IoError("cannot read snapshot file " + path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return util::Status::IoError("read failed for snapshot file " + path);
+  }
+  return DecodeSnapshot(bytes);
+}
+
+util::StatusOr<FrontierSnapshot> MergeSnapshots(
+    std::span<const FrontierSnapshot> shards) {
+  if (shards.empty()) {
+    return util::Status::InvalidArgument("no snapshots to merge");
+  }
+  const FrontierSnapshot& first = shards[0];
+  if (first.shard_count != shards.size()) {
+    return util::Status::InvalidArgument(
+        "snapshot declares " + std::to_string(first.shard_count) +
+        " process shards but " + std::to_string(shards.size()) +
+        " were given");
+  }
+  std::vector<bool> seen(shards.size(), false);
+  for (const FrontierSnapshot& s : shards) {
+    if (s.algorithm != first.algorithm) {
+      return util::Status::InvalidArgument(
+          "shards disagree on the algorithm");
+    }
+    if (s.graph_left != first.graph_left ||
+        s.graph_right != first.graph_right ||
+        s.graph_edges != first.graph_edges ||
+        s.graph_hash != first.graph_hash) {
+      return util::Status::InvalidArgument(
+          "shards disagree on the graph fingerprint (different inputs or "
+          "preprocessing)");
+    }
+    if (s.shard_count != first.shard_count) {
+      return util::Status::InvalidArgument(
+          "shards disagree on the shard count");
+    }
+    if (s.shard_index >= s.shard_count || seen[s.shard_index]) {
+      return util::Status::InvalidArgument(
+          "shard index " + std::to_string(s.shard_index) +
+          " duplicated or out of range: not a 0.." +
+          std::to_string(s.shard_count - 1) + " partition");
+    }
+    seen[s.shard_index] = true;
+    if (!s.complete) {
+      return util::Status::InvalidArgument(
+          "shard " + std::to_string(s.shard_index) +
+          " is incomplete; resume it before merging");
+    }
+  }
+
+  FrontierSnapshot merged;
+  merged.algorithm = first.algorithm;
+  merged.complete = true;
+  merged.shard_index = 0;
+  merged.shard_count = 1;
+  merged.graph_left = first.graph_left;
+  merged.graph_right = first.graph_right;
+  merged.graph_edges = first.graph_edges;
+  merged.graph_hash = first.graph_hash;
+  for (const FrontierSnapshot& s : shards) {
+    merged.completed.insert(merged.completed.end(), s.completed.begin(),
+                            s.completed.end());
+  }
+  std::sort(merged.completed.begin(), merged.completed.end(),
+            [](const CompletedTask& a, const CompletedTask& b) {
+              return a.task < b.task;
+            });
+  for (size_t i = 1; i < merged.completed.size(); ++i) {
+    if (merged.completed[i].task == merged.completed[i - 1].task) {
+      return util::Status::CorruptData(
+          "the same task is completed in two shards — the seed partition "
+          "overlapped");
+    }
+  }
+  return merged;
+}
+
+}  // namespace mbe::snapshot

@@ -1,0 +1,233 @@
+#ifndef PMBE_SNAPSHOT_FRONTIER_H_
+#define PMBE_SNAPSHOT_FRONTIER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "parallel/work_stealing.h"
+#include "util/status.h"
+
+/// \file
+/// The durable task frontier: a first-class, serializable view of the
+/// parallel driver's outstanding work (docs/CHECKPOINT.md).
+///
+/// The unit of parallel work is already an independently re-runnable
+/// subtree task — the encoded `(v, shard, num_shards)` word of
+/// parallel/work_stealing.h. Before this module that frontier lived only
+/// in volatile deque slots: a crash lost the whole run. `TaskFrontier`
+/// tracks every task's lifecycle outside the deques:
+///
+///  * **live** — seeded or produced by a split, not yet finished. Live
+///    tasks include in-flight ones: a snapshot taken while a task is
+///    executing records it live, and a resumed run re-executes it from
+///    scratch (its digest was never committed, so nothing is counted
+///    twice).
+///  * **completed** — finished exactly once, with an order-independent
+///    result digest `(sum, xor, count)` over the task's emitted bicliques
+///    (the same commutative accumulators as core/sink.h FingerprintSink).
+///
+/// Because every emitted biclique belongs to exactly one completed task
+/// and the accumulators are commutative, the fold over all completed-task
+/// digests is independent of thread count, scheduling, steal order, and —
+/// crucially — of how subtrees were split into shards. Two runs (or a run
+/// resumed across N crashes, or N process shards merged) that completed
+/// the same enumeration produce bit-identical merged digests. That is the
+/// restart-correctness proof scripts/check.sh exercises.
+///
+/// Every transition (seed, split, complete) is atomic under one mutex, so
+/// a snapshot taken at ANY moment is consistent: each task is either live
+/// or completed, never both, never lost. No global quiescence is needed —
+/// "quiescent-point" checkpoints only mean each individual transition is
+/// quiescent.
+///
+/// The binary serialization (EncodeSnapshot/DecodeSnapshot) follows the
+/// serve/wire.cc codec discipline: little-endian, versioned, total
+/// decoding (any byte string yields a snapshot or a typed
+/// InvalidArgument/CorruptData, never a crash), and canonical — a decoded
+/// snapshot re-encodes to exactly the input bytes, which the fuzzer
+/// (tools/fuzz_frontier.cc) relies on to detect silent coercions.
+
+namespace mbe::snapshot {
+
+/// File magic "PMBF" (little-endian) and the current format version.
+/// Decoding rejects other versions with InvalidArgument (version skew is
+/// an environment error, not corruption).
+inline constexpr uint32_t kSnapshotMagic = 0x46424d50u;  // "PMBF"
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Hard bound on tasks per section; a corrupt count cannot trigger a
+/// giant allocation (also re-checked against the remaining byte count).
+inline constexpr uint64_t kMaxSnapshotTasks = 1ull << 32;
+
+/// Commutative result digest of one completed task: sum and xor of the
+/// per-biclique hashes (core/biclique.h HashBiclique) plus the count.
+struct TaskDigest {
+  uint64_t sum = 0;
+  uint64_t xr = 0;
+  uint64_t count = 0;
+
+  /// Folds another digest in (commutative and associative).
+  void Merge(const TaskDigest& other) {
+    sum += other.sum;
+    xr ^= other.xr;
+    count += other.count;
+  }
+
+  /// Folds the three accumulators into one comparable value, exactly like
+  /// FingerprintSink::Digest so a frontier digest can be cross-checked
+  /// against a whole-run fingerprint.
+  uint64_t Value() const {
+    uint64_t d = sum;
+    d = d * 0x9e3779b97f4a7c15ULL + xr;
+    d = d * 0x9e3779b97f4a7c15ULL + count;
+    return d;
+  }
+
+  friend bool operator==(const TaskDigest&, const TaskDigest&) = default;
+};
+
+/// One completed-task record of a snapshot.
+struct CompletedTask {
+  uint64_t task = 0;  ///< encoded task word (work_stealing.h)
+  TaskDigest digest;
+
+  friend bool operator==(const CompletedTask&, const CompletedTask&) = default;
+};
+
+/// A serializable frontier state: header (what run this is), the live
+/// task set, and the completed-task log. The in-memory mirror of one
+/// snapshot file.
+struct FrontierSnapshot {
+  /// mbe::Algorithm numeric value of the enumerating engine. A snapshot
+  /// only resumes onto the same algorithm — shard semantics are an
+  /// engine contract.
+  uint8_t algorithm = 0;
+
+  /// True when the run drained every task (pending is empty). A complete
+  /// snapshot resumes to a no-op, making resume idempotent.
+  bool complete = false;
+
+  /// Process-shard coordinates: this frontier holds the seeds v with
+  /// ShardOfSeed(v, shard_count) == shard_index. (0, 1) = unsharded.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+
+  /// Fingerprint of the preprocessed graph the tasks refer to. Resume
+  /// refuses a snapshot whose fingerprint does not match the graph built
+  /// by the resuming process (task words index into this exact graph).
+  uint64_t graph_left = 0;
+  uint64_t graph_right = 0;
+  uint64_t graph_edges = 0;
+  uint64_t graph_hash = 0;
+
+  /// Live tasks (pending + in-flight at snapshot time), strictly
+  /// ascending encoded words.
+  std::vector<uint64_t> pending;
+
+  /// Completed-task log, strictly ascending by task word.
+  std::vector<CompletedTask> completed;
+
+  /// Fold of all completed-task digests (split-structure independent; see
+  /// file comment).
+  TaskDigest MergedDigest() const {
+    TaskDigest d;
+    for (const CompletedTask& c : completed) d.Merge(c.digest);
+    return d;
+  }
+
+  friend bool operator==(const FrontierSnapshot&,
+                         const FrontierSnapshot&) = default;
+};
+
+/// Deterministic fingerprint of a preprocessed graph: sizes plus a hash
+/// of the full right-side adjacency. Two graphs with equal fingerprints
+/// came (for resume purposes) from the same input and preprocessing.
+uint64_t GraphFingerprint(const BipartiteGraph& graph);
+
+/// Which process shard of `shard_count` owns seed vertex `v`
+/// (splitmix64-mixed so consecutive ids spread across shards).
+uint32_t ShardOfSeed(VertexId v, uint32_t shard_count);
+
+/// Appends the canonical binary encoding of `snap` to `*out`. Fails
+/// (leaving `*out` untouched) when the snapshot violates its own
+/// invariants (unsorted/duplicate tasks, invalid task words, overlap
+/// between pending and completed, complete with pending tasks).
+util::Status EncodeSnapshot(const FrontierSnapshot& snap,
+                            std::vector<uint8_t>* out);
+
+/// Decodes one snapshot. Total: any input yields a snapshot or a typed
+/// error — InvalidArgument for a version skew, CorruptData for anything
+/// structurally wrong (bad magic, truncation, checksum mismatch,
+/// non-canonical ordering, invalid task words, trailing bytes). Valid
+/// encodings round-trip byte-identically.
+util::StatusOr<FrontierSnapshot> DecodeSnapshot(
+    std::span<const uint8_t> bytes);
+
+/// The thread-safe live frontier the stealing driver operates against.
+/// Header fields (algorithm, shard coordinates, graph fingerprint) are
+/// fixed at construction; task state transitions are serialized by one
+/// internal mutex so any concurrent BuildSnapshot observes a consistent
+/// frontier.
+class TaskFrontier {
+ public:
+  TaskFrontier(uint8_t algorithm, uint32_t shard_index, uint32_t shard_count,
+               const BipartiteGraph& graph);
+
+  TaskFrontier(const TaskFrontier&) = delete;
+  TaskFrontier& operator=(const TaskFrontier&) = delete;
+
+  /// Seeds one live task. Aborts on an invalid word or a duplicate
+  /// (seeding is driver setup, not untrusted input).
+  void AddPending(uint64_t task);
+
+  /// Replaces the frontier's state with a decoded snapshot: pending tasks
+  /// become live, the completed log is preloaded so finished subtrees are
+  /// never re-run and their digests count exactly once. Fails with
+  /// InvalidArgument when the snapshot's header does not match this
+  /// frontier (different algorithm, shard coordinates, or graph).
+  util::Status Restore(const FrontierSnapshot& snap);
+
+  /// Atomically replaces live task `parent` (an unsplit word) with its
+  /// `k` shard words. The split and the shard tasks' existence are one
+  /// transition: no snapshot can see the parent gone but the shards
+  /// missing.
+  void RecordSplit(uint64_t parent, uint32_t k);
+
+  /// Retires live task `task` with its result digest. Aborts if the task
+  /// is not live (every task completes exactly once).
+  void MarkCompleted(uint64_t task, const TaskDigest& digest);
+
+  /// The live tasks, in ascending order (driver seeding order input).
+  std::vector<uint64_t> PendingTasks() const;
+
+  size_t pending_count() const;
+  size_t completed_count() const;
+
+  /// Fold of all completed-task digests so far.
+  TaskDigest MergedDigest() const;
+
+  /// Consistent point-in-time snapshot (complete = no live tasks).
+  FrontierSnapshot BuildSnapshot() const;
+
+ private:
+  const uint8_t algorithm_;
+  const uint32_t shard_index_;
+  const uint32_t shard_count_;
+  const uint64_t graph_left_;
+  const uint64_t graph_right_;
+  const uint64_t graph_edges_;
+  const uint64_t graph_hash_;
+
+  mutable std::mutex mu_;
+  std::unordered_set<uint64_t> live_;
+  std::unordered_map<uint64_t, TaskDigest> completed_;
+};
+
+}  // namespace mbe::snapshot
+
+#endif  // PMBE_SNAPSHOT_FRONTIER_H_

@@ -298,7 +298,7 @@ TEST(ValidateTest, RejectsEachMalformedField) {
   }
   {
     Options o;
-    o.algorithm = Algorithm::kMbea;
+    o.algorithm = Algorithm::kMineLmbc;
     o.threads = 2;
     EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
   }
@@ -333,14 +333,14 @@ TEST(ValidateTest, RejectsEachMalformedField) {
 
 TEST(ValidateTest, ParallelSupportMatrix) {
   for (Algorithm algorithm :
-       {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kImbea,
-        Algorithm::kOombeaLite}) {
+       {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kMbea,
+        Algorithm::kImbea, Algorithm::kOombeaLite}) {
     Options o;
     o.algorithm = algorithm;
     o.threads = 8;
     EXPECT_TRUE(o.Validate().ok()) << AlgorithmName(algorithm);
   }
-  for (Algorithm algorithm : {Algorithm::kMineLmbc, Algorithm::kMbea}) {
+  for (Algorithm algorithm : {Algorithm::kMineLmbc}) {
     Options o;
     o.algorithm = algorithm;
     o.threads = 8;

@@ -30,6 +30,30 @@ TEST(TaskEncodingTest, RoundTrips) {
   }
 }
 
+// The frontier snapshot format (snapshot/frontier.h) persists encoded
+// task words verbatim, making the packing an on-disk contract. Pin its
+// boundaries exhaustively: every shard index at the kMaxTaskShards split
+// and every 32-bit seed-vertex edge value must survive the round trip.
+TEST(TaskEncodingTest, ExhaustiveAtMaxShardsAndVertexBoundaries) {
+  for (const VertexId v :
+       {VertexId{0}, VertexId{1}, VertexId{0x7fffffffu},
+        VertexId{0x80000000u}, VertexId{0xfffffffeu}, VertexId{0xffffffffu}}) {
+    for (uint32_t shard = 0; shard < kMaxTaskShards; ++shard) {
+      const uint64_t word =
+          EncodeTask({.v = v, .shard = shard, .num_shards = kMaxTaskShards});
+      const StealTask back = DecodeTask(word);
+      ASSERT_EQ(back.v, v);
+      ASSERT_EQ(back.shard, shard);
+      ASSERT_EQ(back.num_shards, kMaxTaskShards);
+    }
+  }
+  // Distinctness at the packing seams: neighboring fields never alias.
+  EXPECT_NE(EncodeTask({.v = 1, .shard = 0, .num_shards = 1}),
+            EncodeTask({.v = 0, .shard = 1, .num_shards = 1}));
+  EXPECT_NE(EncodeTask({.v = 0, .shard = 1, .num_shards = 2}),
+            EncodeTask({.v = 0, .shard = 0, .num_shards = 2}));
+}
+
 // --- Deque, single-threaded semantics -------------------------------------
 
 TEST(TaskDequeTest, OwnerPopsLifo) {

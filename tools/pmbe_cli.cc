@@ -21,10 +21,14 @@
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <string>
+#include <vector>
 
 #include "api/mbe.h"
 #include "gen/registry.h"
 #include "graph/graph_io.h"
+#include "snapshot/checkpoint.h"
+#include "snapshot/frontier.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/simd.h"
@@ -37,6 +41,65 @@ namespace {
 std::atomic<bool> g_interrupted{false};
 
 void HandleSigint(int) { g_interrupted.store(true); }
+
+// Set by the SIGTERM handler of checkpointing runs: stop with a final
+// snapshot and Termination::kCheckpointed (the durable analog of Ctrl-C).
+std::atomic<bool> g_checkpoint_requested{false};
+
+void HandleSigterm(int) { g_checkpoint_requested.store(true); }
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (start <= list.size()) {
+    const size_t comma = list.find(',', start);
+    const size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) parts.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return parts;
+}
+
+// --merge_checkpoints mode: fold per-process shard snapshots into one and
+// report the merged frontier digest (no graph needed). Returns the process
+// exit code.
+int MergeCheckpoints(const std::string& list, const std::string& out_path) {
+  using namespace mbe;
+  std::vector<snapshot::FrontierSnapshot> shards;
+  for (const std::string& path : SplitCommas(list)) {
+    util::StatusOr<snapshot::FrontierSnapshot> snap =
+        snapshot::ReadSnapshotFile(path);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", path.c_str(),
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    shards.push_back(std::move(snap).value());
+  }
+  util::StatusOr<snapshot::FrontierSnapshot> merged =
+      snapshot::MergeSnapshots(shards);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "error: %s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  if (!out_path.empty()) {
+    if (util::Status written =
+            snapshot::WriteSnapshotFile(out_path, merged.value());
+        !written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  const snapshot::TaskDigest digest = merged.value().MergedDigest();
+  std::printf("merged %zu shards: %llu tasks completed, %llu bicliques\n",
+              shards.size(),
+              static_cast<unsigned long long>(merged.value().completed.size()),
+              static_cast<unsigned long long>(digest.count));
+  std::printf("frontier digest: 0x%016llx\n",
+              static_cast<unsigned long long>(digest.Value()));
+  return 0;
+}
 
 }  // namespace
 
@@ -71,6 +134,22 @@ int main(int argc, char** argv) {
   flags.AddDouble("watchdog_s", 0,
                   "parallel worker stall bound in seconds (0 = off): a worker "
                   "silent this long stops the run instead of hanging it");
+  flags.AddString("checkpoint_path", "",
+                  "persist the task frontier to this file periodically and at "
+                  "drain (durable runs; requires --scheduling stealing). "
+                  "SIGTERM then stops with a final snapshot");
+  flags.AddDouble("checkpoint_every_s", 30,
+                  "seconds between periodic snapshots of a checkpointing run");
+  flags.AddBool("resume", false,
+                "resume from the snapshot at --checkpoint_path, re-running "
+                "only tasks it records as incomplete");
+  flags.AddString("process_shard", "",
+                  "'i/N': enumerate only hash shard i of N of the seed space "
+                  "(multi-process runs; combine with --merge_checkpoints)");
+  flags.AddString("merge_checkpoints", "",
+                  "comma-separated per-shard snapshot files: merge them, "
+                  "print the combined frontier digest (optionally writing the "
+                  "merged snapshot to --checkpoint_path), and exit");
   flags.AddString("fault", "",
                   "arm a fault schedule, e.g. 'arena.grow:3' or "
                   "'*:p=0.01:seed=7' (needs a -DPMBE_FAULT_INJECTION=ON "
@@ -87,6 +166,12 @@ int main(int argc, char** argv) {
   flags.AddString("output", "", "write bicliques to this file");
   flags.AddBool("stats", true, "print enumeration counters");
   flags.Parse(argc, argv);
+
+  // --- Merge mode: no graph, no run ---------------------------------------
+  if (!flags.GetString("merge_checkpoints").empty()) {
+    return MergeCheckpoints(flags.GetString("merge_checkpoints"),
+                            flags.GetString("checkpoint_path"));
+  }
 
   // --- Load or generate the graph ---------------------------------------
   BipartiteGraph graph;
@@ -170,6 +255,36 @@ int main(int argc, char** argv) {
   options.max_memory_bytes =
       static_cast<uint64_t>(flags.GetInt("max_memory_mb")) * (1 << 20);
   options.watchdog_stall_seconds = flags.GetDouble("watchdog_s");
+  // --- Durable checkpointing ----------------------------------------------
+  if (flags.GetDouble("checkpoint_every_s") < 0) {
+    std::fprintf(stderr,
+                 "error: INVALID_ARGUMENT: --checkpoint_every_s must be "
+                 ">= 0\n");
+    return 2;
+  }
+  options.checkpoint.path = flags.GetString("checkpoint_path");
+  options.checkpoint.every_s = flags.GetDouble("checkpoint_every_s");
+  options.checkpoint.resume = flags.GetBool("resume");
+  if (!flags.GetString("process_shard").empty()) {
+    unsigned shard = 0, count = 0;
+    if (std::sscanf(flags.GetString("process_shard").c_str(), "%u/%u", &shard,
+                    &count) != 2) {
+      std::fprintf(stderr,
+                   "error: INVALID_ARGUMENT: --process_shard must be 'i/N' "
+                   "(got '%s')\n",
+                   flags.GetString("process_shard").c_str());
+      return 2;
+    }
+    options.checkpoint.shard_index = shard;
+    options.checkpoint.shard_count = count;
+  }
+  if (options.checkpoint.enabled()) {
+    // SIGTERM = "stop durably": drain in-flight tasks, write a final
+    // snapshot, and report Termination::kCheckpointed so a later --resume
+    // run picks up exactly the incomplete remainder.
+    std::signal(SIGTERM, HandleSigterm);
+    options.checkpoint.checkpoint_stop = &g_checkpoint_requested;
+  }
   if (!flags.GetString("fault").empty()) {
 #if !defined(PMBE_FAULT_INJECTION)
     std::fprintf(stderr,
@@ -255,6 +370,13 @@ int main(int argc, char** argv) {
               truncated ? ">= " : "",
               static_cast<unsigned long long>(counter.count()), run.seconds,
               run.preprocess_seconds);
+  if (options.checkpoint.enabled()) {
+    std::printf("frontier digest: 0x%016llx (%llu tasks completed, %llu "
+                "pending)\n",
+                static_cast<unsigned long long>(run.frontier_digest),
+                static_cast<unsigned long long>(run.frontier_completed),
+                static_cast<unsigned long long>(run.frontier_pending));
+  }
   if (flags.GetBool("stats")) {
     const EnumStats& s = run.stats;
     std::printf("  nodes expanded:      %llu\n",
@@ -294,6 +416,11 @@ int main(int argc, char** argv) {
                       .c_str(),
                   static_cast<unsigned long long>(s.degradations),
                   static_cast<unsigned long long>(s.faults_injected));
+    }
+    if (s.checkpoints_written > 0) {
+      std::printf("  checkpoints:         %llu snapshots written (incl. "
+                  "final)\n",
+                  static_cast<unsigned long long>(s.checkpoints_written));
     }
     if (s.watchdog_checks > 0) {
       std::printf("  watchdog:            %llu sweeps\n",
