@@ -177,6 +177,9 @@ declare -A durable_ref
 for algo in mbet mbea imbea; do
   for threads in 1 8; do
     tag="$algo t=$threads"
+    # Fresh durable runs refuse to overwrite an existing snapshot, so
+    # clear the previous iteration's file first.
+    rm -f "$CKPT_DIR/ref.snap"
     ref=$("$FAULT_DIR/tools/pmbe" --dataset DBT --scale 0.1 \
           --algorithm "$algo" --threads "$threads" \
           --checkpoint_path "$CKPT_DIR/ref.snap" --stats=false | digest_of)
@@ -251,6 +254,7 @@ for algo in mbet mbea imbea; do
   # the seed space into its own snapshot; the offline merge must
   # reproduce the single-process digest exactly.
   for i in 0 1 2 3; do
+    rm -f "$CKPT_DIR/shard$i.snap"
     "$FAULT_DIR/tools/pmbe" --dataset DBT --scale 0.1 --algorithm "$algo" \
       --threads 8 --process_shard "$i/4" \
       --checkpoint_path "$CKPT_DIR/shard$i.snap" --stats=false >/dev/null

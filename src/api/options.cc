@@ -121,9 +121,9 @@ util::Status RunOptions::Validate() const {
           "checkpointing requires scheduling == kStealing (the task "
           "frontier records the stealing scheduler's task lifecycle)");
     }
-    if (!(checkpoint.every_s > 0)) {  // zero, negatives and NaN
+    if (!(checkpoint.every_s >= 0)) {  // negatives and NaN
       return util::Status::InvalidArgument(
-          "checkpoint.every_s must be > 0");
+          "checkpoint.every_s must be >= 0 (0 = final snapshot only)");
     }
   }
   if (checkpoint.shard_count == 0) {

@@ -1,5 +1,7 @@
 #include "api/session.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <utility>
 #include <vector>
@@ -391,6 +393,15 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
       util::StatusOr<snapshot::FrontierSnapshot> snap =
           snapshot::ReadSnapshotFile(options_.checkpoint.path);
       seeded = snap.ok() ? frontier->Restore(snap.value()) : snap.status();
+    } else if (::access(options_.checkpoint.path.c_str(), F_OK) == 0) {
+      // A fresh durable run must never clobber a resumable snapshot: the
+      // first periodic write would silently destroy the previous run's
+      // state. Forgetting checkpoint.resume is the common way to get
+      // here, so refuse before any worker starts.
+      seeded = util::Status::InvalidArgument(
+          "checkpoint.path '" + options_.checkpoint.path +
+          "' already exists; set checkpoint.resume (--resume) to continue "
+          "that run, or remove the file to start fresh");
     } else {
       for (uint64_t v = 0; v < work.num_right(); ++v) {
         if (options_.checkpoint.shard_count > 1 &&

@@ -254,6 +254,16 @@ EnumStats RunWorkStealing(const BipartiteGraph& graph,
             // A stopped or truncated task stays live and re-runs in full
             // on resume — its digest was never committed, so nothing
             // counts twice.
+            //
+            // Durability barrier: deliver the task's buffered results to
+            // the downstream sink *before* the frontier records the task
+            // complete. Committing first would let a periodic snapshot
+            // claim a task whose bicliques still sit in this worker's
+            // volatile buffer — a SIGKILL before the next flush would
+            // lose them permanently, since resume never re-runs completed
+            // tasks. A throwing flush lands in the catch below, so the
+            // task stays live and re-runs in full on resume.
+            buffered->Flush();
             frontier->MarkCompleted(EncodeTask(task), digest_sink.digest());
           }
         } catch (const std::exception& e) {

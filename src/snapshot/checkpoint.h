@@ -30,8 +30,9 @@ struct CheckpointOptions {
   /// and the final state land here (via the atomic tmp+rename protocol).
   std::string path;
 
-  /// Seconds between periodic snapshots. The final snapshot at drain is
-  /// always written regardless.
+  /// Seconds between periodic snapshots; 0 disables the periodic writes
+  /// (the final snapshot at drain is always written regardless, so 0 =
+  /// "final snapshot only" — no mid-run crash protection).
   double every_s = 30.0;
 
   /// Resume from `path` instead of seeding a fresh frontier: completed

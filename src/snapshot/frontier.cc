@@ -316,9 +316,18 @@ util::Status TaskFrontier::Restore(const FrontierSnapshot& snap) {
         "(different input file, preprocessing, or ordering)");
   }
   // The codec only validates task words structurally; the seed-vertex
-  // range check needs the graph, so it lives here.
+  // range check needs the graph, so it lives here. Completed tasks get
+  // the same check: they never re-run, but their words feed the merged
+  // digest and shard-merge bookkeeping, so an out-of-range word is just
+  // as corrupt.
   for (uint64_t word : snap.pending) {
     if (DecodeTask(word).v >= graph_right_) {
+      return util::Status::InvalidArgument(
+          "snapshot task references a vertex beyond the graph");
+    }
+  }
+  for (const CompletedTask& c : snap.completed) {
+    if (DecodeTask(c.task).v >= graph_right_) {
       return util::Status::InvalidArgument(
           "snapshot task references a vertex beyond the graph");
     }

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -251,6 +252,32 @@ TEST(TaskFrontierTest, RestoreRejectsMismatchedHeader) {
   }
 }
 
+TEST(TaskFrontierTest, RestoreRejectsTasksBeyondTheGraph) {
+  // The codec validates task words structurally; the seed-vertex range
+  // check needs the graph and lives in Restore — for pending *and*
+  // completed tasks (a forged completed word with a valid checksum must
+  // not slip into the digest bookkeeping).
+  const BipartiteGraph graph = MediumGraph();  // 24 right vertices
+  TaskFrontier frontier(0, 0, 1, graph);
+  frontier.AddPending(Word(3, 0, 1));
+  const FrontierSnapshot base = frontier.BuildSnapshot();
+
+  {
+    FrontierSnapshot snap = base;
+    snap.pending.push_back(Word(24, 0, 1));  // out of range
+    TaskFrontier other(0, 0, 1, graph);
+    EXPECT_EQ(other.Restore(snap).code(),
+              util::StatusCode::kInvalidArgument);
+  }
+  {
+    FrontierSnapshot snap = base;
+    snap.completed.push_back({Word(24, 0, 1), {1, 1, 1}});  // out of range
+    TaskFrontier other(0, 0, 1, graph);
+    EXPECT_EQ(other.Restore(snap).code(),
+              util::StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(TaskFrontierTest, GraphFingerprintDistinguishesGraphs) {
   EXPECT_EQ(GraphFingerprint(MediumGraph()), GraphFingerprint(MediumGraph()));
   EXPECT_NE(GraphFingerprint(MediumGraph()),
@@ -376,6 +403,9 @@ struct DurableRun {
 DurableRun RunDurable(const BipartiteGraph& graph, Algorithm algorithm,
                       unsigned threads, const std::string& path,
                       bool resume = false) {
+  // Fresh durable runs refuse to overwrite an existing snapshot; clear
+  // any leftover from an earlier (possibly crashed) test run.
+  if (!resume) std::remove(path.c_str());
   Options options;
   options.algorithm = algorithm;
   options.threads = threads;
@@ -435,6 +465,7 @@ TEST(CheckpointResumeTest, InterruptedRunResumesToReferenceDigest) {
       // Interrupt: a small result budget stops the run mid-enumeration;
       // truncated tasks stay pending in the final snapshot.
       const std::string path = TempPath("interrupted.pmbf");
+      std::remove(path.c_str());
       Options options;
       options.algorithm = algorithm;
       options.threads = threads;
@@ -477,6 +508,91 @@ TEST(CheckpointResumeTest, ResumeOfCompleteSnapshotIsIdempotentNoOp) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointResumeTest, FreshRunRefusesToOverwriteExistingSnapshot) {
+  // A durable run without resume must not clobber an existing snapshot —
+  // its first periodic write would silently destroy a resumable state if
+  // the user merely forgot --resume.
+  const BipartiteGraph graph = MediumGraph();
+  const std::string path = TempPath("overwrite.pmbf");
+  const DurableRun first = RunDurable(graph, Algorithm::kMbet, 2, path);
+  EXPECT_EQ(first.termination, Termination::kComplete);
+
+  Options options;
+  options.algorithm = Algorithm::kMbet;
+  options.threads = 2;
+  options.checkpoint.path = path;
+  options.checkpoint.every_s = 3600;
+  CountSink sink;
+  const util::Status status = Enumerate(graph, options, &sink, nullptr);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(sink.count(), 0u);
+
+  // The refused run left the snapshot untouched and resumable.
+  util::StatusOr<FrontierSnapshot> snap = ReadSnapshotFile(path);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(snap.value().complete);
+  EXPECT_EQ(snap.value().MergedDigest().Value(), first.digest);
+  std::remove(path.c_str());
+}
+
+/// Delivers the first `limit` bicliques, then fails every emission:
+/// models a downstream sink (full disk, closed pipe) dying mid-run.
+class FailAfterSink : public ResultSink {
+ public:
+  explicit FailAfterSink(uint64_t limit) : limit_(limit) {}
+
+  void Emit(std::span<const VertexId>, std::span<const VertexId>) override {
+    if (delivered_.fetch_add(1, std::memory_order_relaxed) >= limit_) {
+      delivered_.fetch_sub(1, std::memory_order_relaxed);
+      throw std::runtime_error("injected sink failure");
+    }
+  }
+
+  uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  uint64_t limit_;
+  std::atomic<uint64_t> delivered_{0};
+};
+
+TEST(CheckpointResumeTest, SnapshotNeverCompletesUndeliveredTasks) {
+  // The flush-before-commit barrier: a task may be recorded completed
+  // only after its buffered results reached the downstream sink —
+  // otherwise a snapshot could claim a task done while its bicliques sit
+  // in a worker's volatile buffer, and a SIGKILL before the next flush
+  // would lose them permanently (resume never re-runs completed tasks).
+  // Pin it with a sink that dies mid-run: the completed-task digests in
+  // the final snapshot must never count more bicliques than the sink
+  // actually accepted.
+  const BipartiteGraph graph = MediumGraph();
+  const std::string ref_path = TempPath("barrier-ref.pmbf");
+  const DurableRun reference =
+      RunDurable(graph, Algorithm::kMbet, 4, ref_path);
+  std::remove(ref_path.c_str());
+  ASSERT_GT(reference.emitted, 2u);
+
+  const std::string path = TempPath("barrier.pmbf");
+  std::remove(path.c_str());
+  Options options;
+  options.algorithm = Algorithm::kMbet;
+  options.threads = 4;
+  options.checkpoint.path = path;
+  options.checkpoint.every_s = 3600;
+  FailAfterSink sink(reference.emitted / 2 + 1);
+  RunResult run;
+  ASSERT_TRUE(Enumerate(graph, options, &sink, &run).ok());
+  EXPECT_EQ(run.termination, Termination::kInternal);
+
+  util::StatusOr<FrontierSnapshot> snap = ReadSnapshotFile(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_FALSE(snap.value().complete);
+  EXPECT_GT(snap.value().pending.size(), 0u);
+  EXPECT_LE(snap.value().MergedDigest().count, sink.delivered());
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointResumeTest, ResumeRejectsDifferentGraphOrAlgorithm) {
   const std::string path = TempPath("mismatch.pmbf");
   RunDurable(MediumGraph(), Algorithm::kMbet, 1, path);
@@ -510,6 +626,7 @@ TEST(CheckpointResumeTest, CheckpointStopYieldsTypedTermination) {
   // pre-set stop token is guaranteed to fire first (the checkpointer
   // polls it every ~20ms).
   const std::string path = TempPath("stop.pmbf");
+  std::remove(path.c_str());
   std::atomic<bool> stop{true};
   Options options;
   options.algorithm = Algorithm::kMbet;
@@ -543,6 +660,7 @@ TEST(CheckpointResumeTest, FourShardsMergeToSingleProcessDigest) {
   for (uint32_t i = 0; i < 4; ++i) {
     const std::string path =
         TempPath("shard-" + std::to_string(i) + ".pmbf");
+    std::remove(path.c_str());
     Options options;
     options.algorithm = Algorithm::kMbet;
     options.threads = 2;
@@ -596,6 +714,18 @@ TEST(CheckpointOptionsTest, ValidateRejectsIncoherentCheckpointing) {
     Options o;  // sharding without a snapshot path
     o.checkpoint.shard_count = 4;
     EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;  // negative snapshot cadence
+    o.checkpoint.path = "x.pmbf";
+    o.checkpoint.every_s = -1;
+    EXPECT_EQ(o.Validate().code(), util::StatusCode::kInvalidArgument);
+  }
+  {
+    Options o;  // 0 = final snapshot only — valid (matches the CLI's >= 0)
+    o.checkpoint.path = "x.pmbf";
+    o.checkpoint.every_s = 0;
+    EXPECT_TRUE(o.Validate().ok());
   }
   {
     Options o;  // a coherent durable configuration passes

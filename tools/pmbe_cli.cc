@@ -139,7 +139,8 @@ int main(int argc, char** argv) {
                   "drain (durable runs; requires --scheduling stealing). "
                   "SIGTERM then stops with a final snapshot");
   flags.AddDouble("checkpoint_every_s", 30,
-                  "seconds between periodic snapshots of a checkpointing run");
+                  "seconds between periodic snapshots of a checkpointing run "
+                  "(0 = only the final snapshot at drain)");
   flags.AddBool("resume", false,
                 "resume from the snapshot at --checkpoint_path, re-running "
                 "only tasks it records as incomplete");
