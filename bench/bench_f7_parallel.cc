@@ -119,6 +119,7 @@ int main(int argc, char** argv) {
   std::printf("\nscheduler counters at T=%u:\n", max_threads);
   counters.Print();
 
+  if (!bench::JsonRecordingAllowed(flags)) return 1;
   if (const std::string json = flags.GetString("json"); !json.empty()) {
     std::FILE* out = std::fopen(json.c_str(), "w");
     if (out == nullptr) {

@@ -8,6 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <ctime>
+#include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/neighborhood_trie.h"
@@ -277,6 +281,85 @@ void BM_TrieBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieBuild)->Arg(0)->Arg(32)->Arg(60);
 
+// The stock JSONReporter stamps *libbenchmark's* build type into
+// "library_build_type" — on distro packages that reads "debug" even when
+// this library is an -O2 release build, tripping the CI freshness check on
+// bench/BENCH_setops.json. Re-emit the context head with the build type of
+// the code actually being measured (this translation unit's NDEBUG),
+// keeping the structural shape the base class's ReportRuns/Finalize
+// continue from.
+class ReleaseTaggedJsonReporter : public benchmark::JSONReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::ostream& out = GetOutputStream();
+    char date[64] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    std::tm tm_utc{};
+    if (gmtime_r(&now, &tm_utc) != nullptr) {
+      std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S+00:00", &tm_utc);
+    }
+    out << "{\n  \"context\": {\n";
+    out << "    \"date\": \"" << date << "\",\n";
+    out << "    \"executable\": \"" << context.executable_name << "\",\n";
+    out << "    \"num_cpus\": " << context.cpu_info.num_cpus << ",\n";
+    out << "    \"mhz_per_cpu\": "
+        << static_cast<long>(context.cpu_info.cycles_per_second * 1e-6)
+        << ",\n";
+    out << "    \"simd_level\": \""
+        << mbe::simd::DispatchLevelName(mbe::simd::ActiveLevel())
+        << "\",\n";
+#ifdef NDEBUG
+    out << "    \"library_build_type\": \"release\"\n";
+#else
+    out << "    \"library_build_type\": \"debug\"\n";
+#endif
+    out << "  },\n  \"benchmarks\": [\n";
+    return true;
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // --allow_debug (ours; stripped before libbenchmark parses the rest)
+  // gates recording JSON from unoptimized builds, mirroring the
+  // bench/harness.cc policy for the table binaries.
+  bool allow_debug = false;
+  bool wants_file = false;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--allow_debug") {
+      allow_debug = true;
+      continue;
+    }
+    if (arg.rfind("--benchmark_out=", 0) == 0 && arg.size() > 16) {
+      wants_file = true;
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+#ifndef NDEBUG
+  if (wants_file && !allow_debug) {
+    std::fprintf(stderr,
+                 "error: refusing --benchmark_out from a debug build — "
+                 "unoptimized timings are not comparable to the committed "
+                 "BENCH_*.json baselines. Rebuild with "
+                 "-DCMAKE_BUILD_TYPE=Release, or pass --allow_debug for a "
+                 "throwaway recording.\n");
+    return 1;
+  }
+#endif
+  (void)allow_debug;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::ConsoleReporter display;
+  ReleaseTaggedJsonReporter json;
+  if (wants_file) {
+    benchmark::RunSpecifiedBenchmarks(&display, &json);
+  } else {
+    benchmark::RunSpecifiedBenchmarks(&display);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

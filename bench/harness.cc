@@ -86,6 +86,27 @@ void WriteJsonContext(std::FILE* out, const std::string& executable,
   std::fprintf(out, "  }");
 }
 
+bool JsonRecordingAllowed(const util::FlagParser& flags) {
+  if (flags.GetString("json").empty()) return true;
+  const HostInfo host = QueryHost();
+  if (host.build_type == "release") return true;
+  if (flags.GetBool("allow_debug")) {
+    std::fprintf(stderr,
+                 "warning: recording JSON from a %s build (--allow_debug); "
+                 "the artifact is tagged \"library_build_type\": \"%s\" and "
+                 "must not be committed as a baseline\n",
+                 host.build_type.c_str(), host.build_type.c_str());
+    return true;
+  }
+  std::fprintf(stderr,
+               "error: refusing to record %s from a %s build — unoptimized "
+               "timings are not comparable to the committed BENCH_*.json "
+               "baselines. Rebuild with -DCMAKE_BUILD_TYPE=Release, or pass "
+               "--allow_debug for a throwaway recording.\n",
+               flags.GetString("json").c_str(), host.build_type.c_str());
+  return false;
+}
+
 RunOutcome TimedRun(const BipartiteGraph& graph, const Options& options,
                     double budget_seconds, uint64_t max_results) {
   RunOutcome outcome;
@@ -217,6 +238,9 @@ void AddCommonFlags(util::FlagParser* flags) {
   flags->AddString("json", "",
                    "also record results + host context as JSON to this path "
                    "(the bench/BENCH_*.json artifact format)");
+  flags->AddBool("allow_debug", false,
+                 "record --json even from a non-release build (refused by "
+                 "default: debug timings are not comparable baselines)");
 }
 
 std::vector<std::string> ResolveSuite(const std::string& suite) {

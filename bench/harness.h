@@ -44,6 +44,15 @@ void WriteJsonContext(std::FILE* out, const std::string& executable,
                       const std::string& flags_summary,
                       const std::string& note);
 
+/// Gate for recording a `--json` artifact: true when recording should
+/// proceed. Debug/unoptimized builds produce timings that are not
+/// comparable to the committed bench/BENCH_*.json baselines, so a
+/// non-release build is refused (with an explanatory message on stderr)
+/// unless `--allow_debug` was passed — in which case a warning is printed
+/// and the artifact will carry `"library_build_type": "debug"` for CI to
+/// flag. Returns true trivially when `--json` was not requested.
+bool JsonRecordingAllowed(const util::FlagParser& flags);
+
 /// Outcome of a single timed enumeration run.
 struct RunOutcome {
   bool completed = false;  ///< false when the time/result budget was hit

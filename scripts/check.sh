@@ -26,6 +26,17 @@ BUILD_DIR="${1:-build-asan}"
 
 SAN_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
 
+echo "=== bench baseline hygiene: no debug-build BENCH_*.json committed ==="
+# Every harness refuses --json from a non-release build (bench/harness.cc
+# JsonRecordingAllowed) unless --allow_debug is passed; this backstop
+# catches an --allow_debug artifact that was committed anyway.
+if grep -l '"library_build_type": "debug"' bench/BENCH_*.json 2>/dev/null; then
+  echo "FAIL: committed bench baseline(s) above were recorded from a debug" \
+       "build; re-record with a -DCMAKE_BUILD_TYPE=Release binary" >&2
+  exit 1
+fi
+echo "bench baselines OK"
+
 echo "=== configure ($BUILD_DIR: Debug + ASan/UBSan) ==="
 cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -128,6 +139,41 @@ if [[ "$scalar_count" != "${matrix_count[OFF]}" || \
   exit 1
 fi
 echo "kernel-dispatch matrix OK: $scalar_count bicliques in every leg"
+
+echo "=== batch-frontier matrix: widths 1/16/64 + --tune, every leg count-identical ==="
+# The batched classification frontier (docs/TUNING.md) must be
+# behaviorally invisible: the same bicliques whether candidates are
+# classified one at a time (--batch_width 1), in the widest windows
+# (--batch_width 64), or with the workload-adaptive tuner choosing the
+# knobs (--tune) — under the sanitizers, on the scalar-pinned table, and
+# in the AVX2-compiled-out build. Reuses the builds from the legs above.
+batch_ref=""
+for cfg in "--batch_width 1" "--batch_width 16" "--batch_width 64" "--tune"; do
+  for leg in asan scalar noavx2; do
+    case "$leg" in
+      asan)   out=$("$BUILD_DIR/tools/pmbe" --dataset DBT --scale 0.2 \
+                    --stats=false $cfg) ;;
+      scalar) out=$(PMBE_FORCE_SCALAR=1 "$BUILD_DIR/tools/pmbe" --dataset DBT \
+                    --scale 0.2 --stats=false $cfg) ;;
+      noavx2) out=$("$NOAVX2_DIR/tools/pmbe" --dataset DBT --scale 0.2 \
+                    --stats=false $cfg) ;;
+    esac
+    count=$(echo "$out" | grep -o '[0-9]* maximal bicliques' | grep -o '[0-9]*')
+    [[ -n "$count" ]] || {
+      echo "FAIL: no biclique count from leg $leg ($cfg)" >&2
+      exit 1
+    }
+    if [[ -z "$batch_ref" ]]; then
+      batch_ref="$count"
+    elif [[ "$count" != "$batch_ref" ]]; then
+      echo "FAIL: batch matrix diverges: leg $leg ($cfg) found $count" \
+           "bicliques, reference found $batch_ref" >&2
+      exit 1
+    fi
+    echo "  [$leg, $cfg] $count bicliques"
+  done
+done
+echo "batch matrix OK: $batch_ref bicliques in every leg"
 
 echo "=== fault-injection matrix: -DPMBE_FAULT_INJECTION=ON + ASan ==="
 # Compile the named fault points in (util/fault.h) and prove, under ASan,

@@ -29,6 +29,7 @@ RunOptions Options::run_options() const {
   run.scheduling = scheduling;
   run.max_split = max_split;
   run.mbet = mbet;
+  run.auto_tune = auto_tune;
   run.control = control;
   run.max_memory_bytes = max_memory_bytes;
   run.watchdog_stall_seconds = watchdog_stall_seconds;

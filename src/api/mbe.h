@@ -97,6 +97,13 @@ struct Options {
   /// plus the size thresholds min_left/min_right.
   MbetOptions mbet;
 
+  /// Workload-adaptive auto-tuning (core/tuner.h, docs/TUNING.md): pick
+  /// `mbet.bitmap_density`, `mbet.batch_width`, and `max_split` from the
+  /// engine's sampled graph profile instead of the fields above. Results
+  /// are byte-identical either way; the decision is recorded in
+  /// `RunResult::stats` (auto_tuned / tuned_*).
+  bool auto_tune = false;
+
   /// When size thresholds are set (mbet.min_left/min_right > 1) and the
   /// algorithm is MBET/MBETM, peel the graph to its (min_left, min_right)-
   /// core before enumerating (graph/reduction.h). Exact: no qualifying

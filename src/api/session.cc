@@ -211,7 +211,27 @@ util::Status Session::PrepareImpl(ResultSink* sink, bool force_controller) {
     std::swap(effective_mbet_.min_left, effective_mbet_.min_right);
   }
   effective_mbet_.recompute_locals = options_.algorithm == Algorithm::kMbetM;
+  effective_max_split_ = options_.max_split;
   monolithic_ = !SupportsParallel(options_.algorithm);
+
+  // Workload-adaptive tuning: map the engine's build-time graph profile
+  // through the decision table and override the *effective* knobs. The
+  // caller's RunOptions stay untouched; the decision is recorded in the
+  // run's stats so `--stats` / bench JSON can show what actually ran.
+  // Every decision is output-identical — the knobs trade speed and memory.
+  if (options_.auto_tune) {
+    const TunerDecision tuned = Tune(engine_->profile());
+    effective_mbet_.bitmap_density = tuned.bitmap_density;
+    effective_mbet_.batch_width = tuned.batch_width;
+    effective_max_split_ = tuned.max_split;
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.auto_tuned = 1;
+    stats_.tuned_batch_width = tuned.batch_width;
+    stats_.tuned_max_split = tuned.max_split;
+    stats_.tuned_bitmap_density_x1000 =
+        static_cast<uint64_t>(tuned.bitmap_density * 1000.0);
+    stats_.tuner_rule = static_cast<uint64_t>(tuned.rule);
+  }
 
   // Memory budget: the session's own instance. With max_memory_bytes == 0
   // the cap and pressure thresholds stay off and only the (cheap)
@@ -229,6 +249,7 @@ util::Status Session::PrepareImpl(ResultSink* sink, bool force_controller) {
   kernel_difference_before_ = kernel_before.difference;
   kernel_mask_before_ = kernel_before.mask;
   kernel_word_before_ = kernel_before.word;
+  kernel_batch_before_ = kernel_before.batch;
 
   translator_ = std::make_unique<TranslatingSink>(
       sink, engine_->left_map(), engine_->right_map(), engine_->swapped());
@@ -339,6 +360,7 @@ void Session::Finish(RunResult* result) {
       after.difference - kernel_difference_before_;
   out.stats.simd_mask_calls = after.mask - kernel_mask_before_;
   out.stats.simd_word_calls = after.word - kernel_word_before_;
+  out.stats.simd_batch_calls = after.batch - kernel_batch_before_;
 
   // Robustness counters: read the budget's peak before EndRun re-baselines
   // it. Degradations diff against this session's budget — per-session by
@@ -430,7 +452,7 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
       popts.scheduling = options_.scheduling;
       popts.controller = ctrl;
       popts.budget = &budget_;
-      popts.max_split = options_.max_split;
+      popts.max_split = effective_max_split_;
       popts.watchdog_stall_seconds = options_.watchdog_stall_seconds;
       popts.frontier = frontier.get();
       popts.checkpoint = options_.checkpoint;

@@ -182,6 +182,7 @@ class Session {
   std::optional<ControlledSink> controlled_;
   ResultSink* run_sink_ = nullptr;
   MbetOptions effective_mbet_;  ///< thresholds swapped into engine space
+  uint32_t effective_max_split_ = 8;  ///< max_split, possibly auto-tuned
 
   /// Accounting snapshots taken in Prepare, diffed in Finish.
   uint64_t degradations_before_ = 0;
@@ -190,6 +191,7 @@ class Session {
   uint64_t kernel_difference_before_ = 0;
   uint64_t kernel_mask_before_ = 0;
   uint64_t kernel_word_before_ = 0;
+  uint64_t kernel_batch_before_ = 0;
 
   /// Frontier accounting of a durable standalone Run, copied into the
   /// RunResult by Finish (zero for volatile runs).

@@ -1,0 +1,159 @@
+// Tests for the workload-adaptive auto-tuner (core/tuner.h): profile
+// correctness and determinism, pinned decision-table rows (synthetic
+// profiles and gen:: graph families), and the end-to-end contract that an
+// auto-tuned run is output-identical to a default run while recording its
+// decision in the stats.
+
+#include <gtest/gtest.h>
+
+#include "api/mbe.h"
+#include "core/tuner.h"
+#include "gen/generators.h"
+
+namespace mbe {
+namespace {
+
+TEST(TunerProfileTest, MatchesGraphShape) {
+  const BipartiteGraph graph = gen::ErdosRenyi(100, 80, 0.1, 7);
+  const GraphProfile p = ProfileGraph(graph, 1);
+  EXPECT_EQ(p.num_left, 100u);
+  EXPECT_EQ(p.num_right, 80u);
+  EXPECT_EQ(p.num_edges, graph.num_edges());
+  EXPECT_NEAR(p.density,
+              static_cast<double>(graph.num_edges()) / (100.0 * 80.0),
+              1e-12);
+  EXPECT_NEAR(p.avg_right_degree,
+              static_cast<double>(graph.num_edges()) / 80.0, 1e-12);
+  EXPECT_GE(p.degree_skew, 1.0);
+  EXPECT_GT(p.two_hop_ratio, 0.0);
+}
+
+TEST(TunerProfileTest, EmptyGraphIsAllZero) {
+  const GraphProfile p = ProfileGraph(BipartiteGraph(), 1);
+  EXPECT_EQ(p.num_edges, 0u);
+  EXPECT_EQ(p.density, 0.0);
+  EXPECT_EQ(p.two_hop_ratio, 0.0);
+}
+
+TEST(TunerProfileTest, DeterministicInSeed) {
+  // The wedge sample only kicks in past 64 right vertices; use a graph
+  // large enough that the sampled paths actually run.
+  const BipartiteGraph graph = gen::ErdosRenyi(300, 200, 0.05, 11);
+  const GraphProfile a = ProfileGraph(graph, 42);
+  const GraphProfile b = ProfileGraph(graph, 42);
+  EXPECT_EQ(a.two_hop_ratio, b.two_hop_ratio);
+  EXPECT_EQ(a.degree_skew, b.degree_skew);
+}
+
+TEST(TunerDecisionTest, TableRowsPinned) {
+  GraphProfile p;
+  p.num_left = 1000;
+  p.num_right = 1000;
+
+  // Row 1: too little total work -> narrow windows, no splitting.
+  p.num_edges = 100;
+  p.density = 0.5;  // even a dense tiny graph stays "tiny"
+  {
+    const TunerDecision d = Tune(p);
+    EXPECT_EQ(d.rule, TunerRule::kTiny);
+    EXPECT_EQ(d.batch_width, 8u);
+    EXPECT_EQ(d.max_split, 1u);
+  }
+
+  // Row 2a: dense by edge density.
+  p.num_edges = 10000;
+  p.density = 0.2;
+  {
+    const TunerDecision d = Tune(p);
+    EXPECT_EQ(d.rule, TunerRule::kDense);
+    EXPECT_EQ(d.batch_width, 32u);
+    EXPECT_DOUBLE_EQ(d.bitmap_density, 0.05);
+  }
+
+  // Row 2b: sparse edges but a crowded two-hop neighborhood.
+  p.density = 0.01;
+  p.two_hop_ratio = 5.0;
+  EXPECT_EQ(Tune(p).rule, TunerRule::kDense);
+
+  // Row 3: hub-dominated degree distribution.
+  p.two_hop_ratio = 1.0;
+  p.degree_skew = 20.0;
+  {
+    const TunerDecision d = Tune(p);
+    EXPECT_EQ(d.rule, TunerRule::kSkewed);
+    EXPECT_EQ(d.batch_width, 8u);
+    EXPECT_EQ(d.max_split, 32u);
+  }
+
+  // Row 4: the measured defaults.
+  p.degree_skew = 2.0;
+  {
+    const TunerDecision d = Tune(p);
+    EXPECT_EQ(d.rule, TunerRule::kSparse);
+    EXPECT_EQ(d.batch_width, 16u);
+    EXPECT_EQ(d.max_split, 8u);
+  }
+}
+
+TEST(TunerDecisionTest, SyntheticFamiliesHitExpectedRows) {
+  // Dense Erdos-Renyi: ~1080 edges at density 0.3.
+  EXPECT_EQ(Tune(ProfileGraph(gen::ErdosRenyi(60, 60, 0.3, 3), 1)).rule,
+            TunerRule::kDense);
+  // A handful of edges.
+  EXPECT_EQ(Tune(ProfileGraph(gen::ErdosRenyi(8, 8, 0.2, 3), 1)).rule,
+            TunerRule::kTiny);
+}
+
+TEST(TunerDecisionTest, RuleNamesStable) {
+  EXPECT_STREQ(TunerRuleName(TunerRule::kNone), "none");
+  EXPECT_STREQ(TunerRuleName(TunerRule::kTiny), "tiny");
+  EXPECT_STREQ(TunerRuleName(TunerRule::kDense), "dense");
+  EXPECT_STREQ(TunerRuleName(TunerRule::kSkewed), "skewed");
+  EXPECT_STREQ(TunerRuleName(TunerRule::kSparse), "sparse");
+}
+
+TEST(TunerEndToEndTest, AutoTunedRunIsOutputIdenticalAndRecorded) {
+  const BipartiteGraph graph = gen::ErdosRenyi(50, 40, 0.15, 9);
+
+  FingerprintSink ref;
+  Options base;
+  RunResult base_run;
+  ASSERT_TRUE(Enumerate(graph, base, &ref, &base_run).ok());
+  EXPECT_EQ(base_run.stats.auto_tuned, 0u);
+
+  FingerprintSink tuned;
+  Options o;
+  o.auto_tune = true;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(graph, o, &tuned, &run).ok());
+  EXPECT_EQ(run.stats.auto_tuned, 1u);
+  EXPECT_NE(run.stats.tuner_rule, static_cast<uint64_t>(TunerRule::kNone));
+  EXPECT_GE(run.stats.tuned_batch_width, 1u);
+  EXPECT_GE(run.stats.tuned_max_split, 1u);
+  EXPECT_GT(run.stats.tuned_bitmap_density_x1000, 0u);
+
+  EXPECT_EQ(tuned.Digest(), ref.Digest());
+  EXPECT_EQ(tuned.count(), ref.count());
+}
+
+TEST(TunerEndToEndTest, AutoTuneAppliesToParallelRuns) {
+  // The tuned max_split feeds the parallel driver; digest identity must
+  // hold there too (the dense row picks different knobs than the default).
+  const BipartiteGraph graph = gen::ErdosRenyi(48, 36, 0.25, 13);
+  FingerprintSink ref;
+  Options base;
+  ASSERT_TRUE(Enumerate(graph, base, &ref, nullptr).ok());
+
+  FingerprintSink tuned;
+  Options o;
+  o.auto_tune = true;
+  o.threads = 4;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(graph, o, &tuned, &run).ok());
+  EXPECT_EQ(run.stats.auto_tuned, 1u);
+  EXPECT_EQ(tuned.Digest(), ref.Digest());
+  EXPECT_EQ(tuned.count(), ref.count());
+}
+
+}  // namespace
+}  // namespace mbe
