@@ -8,9 +8,10 @@
 # worst-case dataset with --timeout_s 1 to prove that cooperative
 # cancellation terminates promptly and cleanly under the sanitizers. Then
 # the configuration matrices: the set-representation legs
-# (PMBE_FORCE_BITMAP on/off) and the kernel-dispatch legs (scalar pin via
-# PMBE_FORCE_SCALAR=1, AVX2 compiled out via -DPMBE_ENABLE_AVX2=OFF), all
-# required to enumerate identical bicliques; the fault-injection matrix
+# (PMBE_FORCE_BITMAP on/off), the kernel-dispatch legs (scalar pin via
+# PMBE_FORCE_SCALAR=1, AVX2 compiled out via -DPMBE_ENABLE_AVX2=OFF), and
+# the engine legs (mbet/imbea/bbk), all required to enumerate identical
+# bicliques; the fault-injection matrix
 # (-DPMBE_FAULT_INJECTION=ON + ASan: countdown sweep over every fault
 # point, chaos rounds, CLI/env arming, graph_io fuzz smoke); a
 # memory-budget proof; the durable-frontier leg (fault- and SIGKILL-
@@ -175,6 +176,39 @@ for cfg in "--batch_width 1" "--batch_width 16" "--batch_width 64" "--tune"; do
 done
 echo "batch matrix OK: $batch_ref bicliques in every leg"
 
+echo "=== engine matrix: mbet / imbea / bbk count-identical on every leg ==="
+# The interchangeable engines (docs/ALGORITHM.md) must enumerate the same
+# set whatever the build: sanitized adaptive dispatch, the scalar-pinned
+# table, and the AVX2-compiled-out build. BBK's fixed candidate order and
+# witness-ordered Q scans change the traversal, never the output.
+engine_ref=""
+for algo in mbet imbea bbk; do
+  for leg in asan scalar noavx2; do
+    case "$leg" in
+      asan)   out=$("$BUILD_DIR/tools/pmbe" --dataset DBT --scale 0.2 \
+                    --algorithm "$algo" --stats=false) ;;
+      scalar) out=$(PMBE_FORCE_SCALAR=1 "$BUILD_DIR/tools/pmbe" --dataset DBT \
+                    --scale 0.2 --algorithm "$algo" --stats=false) ;;
+      noavx2) out=$("$NOAVX2_DIR/tools/pmbe" --dataset DBT --scale 0.2 \
+                    --algorithm "$algo" --stats=false) ;;
+    esac
+    count=$(echo "$out" | grep -o '[0-9]* maximal bicliques' | grep -o '[0-9]*')
+    [[ -n "$count" ]] || {
+      echo "FAIL: no biclique count from engine leg $leg ($algo)" >&2
+      exit 1
+    }
+    if [[ -z "$engine_ref" ]]; then
+      engine_ref="$count"
+    elif [[ "$count" != "$engine_ref" ]]; then
+      echo "FAIL: engine matrix diverges: leg $leg ($algo) found $count" \
+           "bicliques, reference found $engine_ref" >&2
+      exit 1
+    fi
+    echo "  [$leg, $algo] $count bicliques"
+  done
+done
+echo "engine matrix OK: $engine_ref bicliques in every leg"
+
 echo "=== fault-injection matrix: -DPMBE_FAULT_INJECTION=ON + ASan ==="
 # Compile the named fault points in (util/fault.h) and prove, under ASan,
 # that every injected failure ends in a typed termination with a valid
@@ -220,7 +254,7 @@ echo "=== durable-frontier leg: fault + SIGKILL interrupts, resume, shard merge 
 CKPT_DIR=$(mktemp -d /tmp/pmbe_ckpt_XXXXXX)
 digest_of() { grep -o 'frontier digest: 0x[0-9a-f]*' | head -1 | awk '{print $3}'; }
 declare -A durable_ref
-for algo in mbet mbea imbea; do
+for algo in mbet mbea imbea bbk; do
   for threads in 1 8; do
     tag="$algo t=$threads"
     # Fresh durable runs refuse to overwrite an existing snapshot, so

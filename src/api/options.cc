@@ -20,10 +20,13 @@ util::Status ParseAlgorithm(const std::string& name, Algorithm* algorithm) {
     *algorithm = Algorithm::kImbea;
   } else if (name == "oombea") {
     *algorithm = Algorithm::kOombeaLite;
+  } else if (name == "bbk") {
+    *algorithm = Algorithm::kBbk;
   } else {
     return util::Status::InvalidArgument(
         "unknown algorithm '" + name +
-        "' (expected mbet | mbetm | minelmbc | mbea | imbea | oombea)");
+        "' (expected mbet | mbetm | minelmbc | mbea | imbea | oombea | "
+        "bbk)");
   }
   return util::Status::Ok();
 }
@@ -42,6 +45,8 @@ const char* AlgorithmName(Algorithm algorithm) {
       return "iMBEA";
     case Algorithm::kOombeaLite:
       return "ooMBEA-lite";
+    case Algorithm::kBbk:
+      return "BBK";
   }
   return "?";
 }
@@ -49,7 +54,7 @@ const char* AlgorithmName(Algorithm algorithm) {
 bool SupportsParallel(Algorithm algorithm) {
   return algorithm == Algorithm::kMbet || algorithm == Algorithm::kMbetM ||
          algorithm == Algorithm::kMbea || algorithm == Algorithm::kImbea ||
-         algorithm == Algorithm::kOombeaLite;
+         algorithm == Algorithm::kOombeaLite || algorithm == Algorithm::kBbk;
 }
 
 util::Status GraphOptions::Validate() const {

@@ -38,11 +38,13 @@ enum class Algorithm {
   kMbea,        ///< MBEA (Q-set check, unsorted candidates)
   kImbea,       ///< iMBEA (Q-set check + candidate ordering)
   kOombeaLite,  ///< unilateral order + subtree-local iMBEA
+  kBbk,         ///< pivot-free left extension, degree-ordered candidates
+                ///< (Baudin et al. 2024) — the large-sparse-graph engine
 };
 
-/// Parses "mbet", "mbetm", "minelmbc", "mbea", "imbea", "oombea" into
-/// `*algorithm`; returns InvalidArgument (leaving `*algorithm` untouched)
-/// on unknown names.
+/// Parses "mbet", "mbetm", "minelmbc", "mbea", "imbea", "oombea", "bbk"
+/// into `*algorithm`; returns InvalidArgument (leaving `*algorithm`
+/// untouched) on unknown names.
 util::Status ParseAlgorithm(const std::string& name, Algorithm* algorithm);
 
 /// Stable display name of an algorithm.

@@ -10,6 +10,7 @@
 #include "baselines/mine_lmbc.h"
 #include "baselines/oombea_lite.h"
 #include "core/mbet.h"
+#include "engines/bbk.h"
 #include "util/fault.h"
 #include "util/simd.h"
 
@@ -133,6 +134,32 @@ class MbeaFamilyWorker : public SubtreeWorker {
   MbeaEnumerator engine_;
 };
 
+/// Subtree worker over BBK; the engine's subtree decomposition and
+/// split-at-pickup sharding mirror the MBEA family's contract.
+class BbkWorker : public SubtreeWorker {
+ public:
+  BbkWorker(const BipartiteGraph& graph, const BbkOptions& options,
+            RunController* controller)
+      : engine_(graph, options) {
+    engine_.SetRunController(controller);
+  }
+  void EnumerateSubtree(VertexId v, ResultSink* sink) override {
+    engine_.EnumerateSubtree(v, sink);
+  }
+  uint32_t SplitHint(VertexId v, uint32_t max_shards,
+                     uint64_t min_work) override {
+    return engine_.SplitHint(v, max_shards, min_work);
+  }
+  void EnumerateShard(VertexId v, uint32_t shard, uint32_t num_shards,
+                      ResultSink* sink) override {
+    engine_.EnumerateShard(v, shard, num_shards, sink);
+  }
+  EnumStats stats() const override { return engine_.stats(); }
+
+ private:
+  BbkEnumerator engine_;
+};
+
 /// Adapter for the algorithms without a subtree decomposition: the whole
 /// enumeration is one monolithic task (Session::monolithic()), executed as
 /// "subtree 0".
@@ -212,19 +239,41 @@ util::Status Session::PrepareImpl(ResultSink* sink, bool force_controller) {
   }
   effective_mbet_.recompute_locals = options_.algorithm == Algorithm::kMbetM;
   effective_max_split_ = options_.max_split;
-  monolithic_ = !SupportsParallel(options_.algorithm);
+  effective_algorithm_ = options_.algorithm;
 
   // Workload-adaptive tuning: map the engine's build-time graph profile
   // through the decision table and override the *effective* knobs. The
   // caller's RunOptions stay untouched; the decision is recorded in the
   // run's stats so `--stats` / bench JSON can show what actually ran.
-  // Every decision is output-identical — the knobs trade speed and memory.
+  // Every decision preserves the enumerated result set — the knobs trade
+  // speed and memory, and the engine pick below swaps between two engines
+  // proven set-identical by the digest matrix.
   if (options_.auto_tune) {
     const TunerDecision tuned = Tune(engine_->profile());
     effective_mbet_.bitmap_density = tuned.bitmap_density;
     effective_mbet_.batch_width = tuned.batch_width;
     effective_max_split_ = tuned.max_split;
+    // Engine selection is honored only where MBET and BBK are
+    // interchangeable: a plain enumeration query (no size thresholds, no
+    // baked core reduction, no branch-and-bound watermark) whose algorithm
+    // is already one of the two. A query that pinned a baseline engine
+    // (MBEA/iMBEA/...) keeps it — only its knobs are tuned. The pick is a
+    // pure function of (graph, options), so a resumed checkpoint and the
+    // original run derive the same engine.
+    const bool engine_selectable =
+        (options_.algorithm == Algorithm::kMbet ||
+         options_.algorithm == Algorithm::kBbk) &&
+        effective_mbet_.min_left == 1 && effective_mbet_.min_right == 1 &&
+        engine_->reduced_min_left() == 1 &&
+        engine_->reduced_min_right() == 1 &&
+        effective_mbet_.best_edges == nullptr;
     std::lock_guard<std::mutex> lock(stats_mu_);
+    if (engine_selectable && tuned.engine != TunerEngine::kNone) {
+      effective_algorithm_ = tuned.engine == TunerEngine::kBbk
+                                 ? Algorithm::kBbk
+                                 : Algorithm::kMbet;
+      stats_.tuned_algorithm = static_cast<uint64_t>(tuned.engine);
+    }
     stats_.auto_tuned = 1;
     stats_.tuned_batch_width = tuned.batch_width;
     stats_.tuned_max_split = tuned.max_split;
@@ -232,6 +281,7 @@ util::Status Session::PrepareImpl(ResultSink* sink, bool force_controller) {
         static_cast<uint64_t>(tuned.bitmap_density * 1000.0);
     stats_.tuner_rule = static_cast<uint64_t>(tuned.rule);
   }
+  monolithic_ = !SupportsParallel(effective_algorithm_);
 
   // Memory budget: the session's own instance. With max_memory_bytes == 0
   // the cap and pressure thresholds stay off and only the (cheap)
@@ -310,7 +360,7 @@ std::unique_ptr<SubtreeWorker> Session::MakeWorker() const {
       controller_.has_value() ? const_cast<RunController*>(&*controller_)
                               : nullptr;
   const BipartiteGraph& work = engine_->graph();
-  switch (options_.algorithm) {
+  switch (effective_algorithm_) {
     case Algorithm::kMbet:
     case Algorithm::kMbetM:
       return std::make_unique<MbetWorker>(work, effective_mbet_, ctrl);
@@ -324,6 +374,10 @@ std::unique_ptr<SubtreeWorker> Session::MakeWorker() const {
     case Algorithm::kMbea:
       return std::make_unique<MbeaFamilyWorker>(
           work, MbeaOptions{.improved = false}, ctrl);
+    case Algorithm::kBbk:
+      return std::make_unique<BbkWorker>(
+          work, BbkOptions{.bitmap_density = effective_mbet_.bitmap_density},
+          ctrl);
     case Algorithm::kMineLmbc:
       return std::make_unique<WholeGraphWorker<MineLmbcEnumerator>>(ctrl,
                                                                     work);
@@ -407,7 +461,7 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
   std::unique_ptr<snapshot::TaskFrontier> frontier;
   if (options_.checkpoint.enabled()) {
     frontier = std::make_unique<snapshot::TaskFrontier>(
-        static_cast<uint8_t>(options_.algorithm),
+        static_cast<uint8_t>(effective_algorithm_),
         options_.checkpoint.shard_index, options_.checkpoint.shard_count,
         work);
     util::Status seeded = util::Status::Ok();
@@ -462,7 +516,7 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
       stats_.MergeFrom(merged);
       return;
     }
-    switch (options_.algorithm) {
+    switch (effective_algorithm_) {
       case Algorithm::kMbet:
       case Algorithm::kMbetM: {
         MbetEnumerator engine(work, effective_mbet_);
@@ -494,6 +548,15 @@ util::Status Session::Run(ResultSink* sink, RunResult* result) {
       }
       case Algorithm::kOombeaLite: {
         OombeaLiteEnumerator engine(work);
+        engine.SetRunController(ctrl);
+        engine.EnumerateAll(run_sink_);
+        AddWorkerStats(engine.stats());
+        break;
+      }
+      case Algorithm::kBbk: {
+        BbkEnumerator engine(
+            work,
+            BbkOptions{.bitmap_density = effective_mbet_.bitmap_density});
         engine.SetRunController(ctrl);
         engine.EnumerateAll(run_sink_);
         AddWorkerStats(engine.stats());

@@ -125,6 +125,11 @@ struct EnumStats {
   /// Decision-table row the tuner matched (core/tuner.h TunerRule numeric
   /// value; 0 = none). NOT additive: merged via max.
   uint64_t tuner_rule = 0;
+  /// Engine the tuner selected AND the session honored (core/tuner.h
+  /// TunerEngine numeric value; 0 = no engine override — untuned run, or
+  /// the query pinned its engine / was not engine-interchangeable). NOT
+  /// additive: merged via max.
+  uint64_t tuned_algorithm = 0;
 
   void MergeFrom(const EnumStats& other) {
     nodes_expanded += other.nodes_expanded;
@@ -178,6 +183,9 @@ struct EnumStats {
       tuned_bitmap_density_x1000 = other.tuned_bitmap_density_x1000;
     }
     if (other.tuner_rule > tuner_rule) tuner_rule = other.tuner_rule;
+    if (other.tuned_algorithm > tuned_algorithm) {
+      tuned_algorithm = other.tuned_algorithm;
+    }
   }
 };
 

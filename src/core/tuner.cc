@@ -65,6 +65,18 @@ const char* TunerRuleName(TunerRule rule) {
   return "?";
 }
 
+const char* TunerEngineName(TunerEngine engine) {
+  switch (engine) {
+    case TunerEngine::kNone:
+      return "none";
+    case TunerEngine::kMbet:
+      return "MBET";
+    case TunerEngine::kBbk:
+      return "BBK";
+  }
+  return "?";
+}
+
 TunerDecision Tune(const GraphProfile& profile) {
   TunerDecision d;
   // Rows are matched top to bottom; thresholds come from the
@@ -72,33 +84,45 @@ TunerDecision Tune(const GraphProfile& profile) {
   // (docs/TUNING.md records the numbers behind each row).
   if (profile.num_edges < 256) {
     // Too little total work to amortize windows, wide bitmaps, or split
-    // bookkeeping; keep the frontier narrow and subtrees whole.
+    // bookkeeping; keep the frontier narrow and subtrees whole. MBET's
+    // fixed costs are negligible here and it filters by size for free.
     d.rule = TunerRule::kTiny;
     d.bitmap_density = 0.10;
     d.batch_width = 8;
     d.max_split = 1;
+    d.engine = TunerEngine::kMbet;
   } else if (profile.density >= 0.08 || profile.two_hop_ratio >= 4.0) {
     // Dense / crowded candidate space: nodes are wide (windows fill),
     // locals fill words (bitmaps pay off earlier), subtrees are bushy
-    // enough that the default split floor is fine.
+    // enough that the default split floor is fine. The regime where the
+    // prefix tree's shared-prefix savings beat BBK's lighter nodes.
     d.rule = TunerRule::kDense;
     d.bitmap_density = 0.05;
     d.batch_width = 32;
     d.max_split = 8;
+    d.engine = TunerEngine::kMbet;
   } else if (profile.degree_skew >= 8.0) {
-    // Hub-dominated: most nodes are narrow (keep windows small, raise the
-    // bitmap bar), and the few hub subtrees must split finer to keep
-    // workers fed.
+    // Hub-dominated: the few hub subtrees must split finer to keep workers
+    // fed, and BBK's root-clipped locals sidestep rescanning the hub rows
+    // at every node — the dominant cost in this regime. Density 0 forces
+    // bitmaps: BBK's witness probes are 2x faster dense (the engine sweep
+    // behind bench/BENCH_engines.json), and MBET measured flat, so the
+    // knob is safe even when the query pins the engine.
     d.rule = TunerRule::kSkewed;
-    d.bitmap_density = 0.15;
+    d.bitmap_density = 0.0;
     d.batch_width = 8;
     d.max_split = 32;
+    d.engine = TunerEngine::kBbk;
   } else {
-    // Sparse, roughly uniform: the measured defaults.
+    // Sparse, roughly uniform: trie construction is overhead-dominated on
+    // these shapes, so the pivot-free engine wins; bitmaps forced for the
+    // same reason as the skewed row (subtree universes are one vertex
+    // degree wide, so dense words stay small).
     d.rule = TunerRule::kSparse;
-    d.bitmap_density = 0.10;
+    d.bitmap_density = 0.0;
     d.batch_width = 16;
     d.max_split = 8;
+    d.engine = TunerEngine::kBbk;
   }
   return d;
 }

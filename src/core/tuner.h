@@ -65,6 +65,20 @@ enum class TunerRule : uint8_t {
 /// Human-readable rule name ("dense", "skewed", ...).
 const char* TunerRuleName(TunerRule rule);
 
+/// Engine recommendation of the decision table. The tuner lives below the
+/// API layer, so it cannot name `mbe::Algorithm`; the session maps kMbet /
+/// kBbk onto the corresponding Algorithm values when it honors the pick.
+/// Numeric values are stable: they are stored in
+/// `EnumStats::tuned_algorithm` and printed by `pmbe --stats`.
+enum class TunerEngine : uint8_t {
+  kNone = 0,  ///< no recommendation (tuner not consulted)
+  kMbet = 1,  ///< prefix-tree enumerator: dense / tiny regimes
+  kBbk = 2,   ///< pivot-free left extension: large sparse / skewed regimes
+};
+
+/// Human-readable engine name ("MBET", "BBK", "none").
+const char* TunerEngineName(TunerEngine engine);
+
 /// Knobs chosen by the tuner. Field meanings match MbetOptions /
 /// RunOptions; defaults equal the untuned defaults.
 struct TunerDecision {
@@ -72,6 +86,12 @@ struct TunerDecision {
   uint32_t batch_width = 16;
   uint32_t max_split = 8;
   TunerRule rule = TunerRule::kNone;
+  /// Which engine the profile's regime favors (docs/TUNING.md). Advisory:
+  /// the session only honors it for plain-enumeration queries where the
+  /// two engines are interchangeable (no size thresholds, no baked core
+  /// reduction, no branch-and-bound watermark) — the enumerated *set* is
+  /// identical either way, so honoring the pick never changes output.
+  TunerEngine engine = TunerEngine::kNone;
 };
 
 /// Maps a profile through the decision table (docs/TUNING.md documents

@@ -83,7 +83,8 @@ TEST(RunControlTest, ResultBudgetReportedForEveryAlgorithm) {
   const BipartiteGraph graph = MediumGraph();
   for (Algorithm algorithm :
        {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kMineLmbc,
-        Algorithm::kMbea, Algorithm::kImbea, Algorithm::kOombeaLite}) {
+        Algorithm::kMbea, Algorithm::kImbea, Algorithm::kOombeaLite,
+        Algorithm::kBbk}) {
     Options options;
     options.algorithm = algorithm;
     if (algorithm == Algorithm::kOombeaLite) {
@@ -164,7 +165,7 @@ TEST(RunControlTest, DeadlineStopsTheWholeFleet) {
 TEST(RunControlTest, DeadlineReportedForEveryParallelAlgorithm) {
   for (Algorithm algorithm :
        {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kImbea,
-        Algorithm::kOombeaLite}) {
+        Algorithm::kOombeaLite, Algorithm::kBbk}) {
     Options options;
     options.algorithm = algorithm;
     options.threads = 4;
@@ -334,7 +335,7 @@ TEST(ValidateTest, RejectsEachMalformedField) {
 TEST(ValidateTest, ParallelSupportMatrix) {
   for (Algorithm algorithm :
        {Algorithm::kMbet, Algorithm::kMbetM, Algorithm::kMbea,
-        Algorithm::kImbea, Algorithm::kOombeaLite}) {
+        Algorithm::kImbea, Algorithm::kOombeaLite, Algorithm::kBbk}) {
     Options o;
     o.algorithm = algorithm;
     o.threads = 8;

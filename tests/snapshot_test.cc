@@ -423,7 +423,8 @@ DurableRun RunDurable(const BipartiteGraph& graph, Algorithm algorithm,
 TEST(CheckpointResumeTest, DigestIdenticalAcrossAlgorithmsAndThreads) {
   const BipartiteGraph graph = MediumGraph();
   for (Algorithm algorithm :
-       {Algorithm::kMbet, Algorithm::kMbea, Algorithm::kImbea}) {
+       {Algorithm::kMbet, Algorithm::kMbea, Algorithm::kImbea,
+        Algorithm::kBbk}) {
     uint64_t reference_digest = 0;
     uint64_t reference_count = 0;
     for (unsigned threads : {1u, 4u}) {
@@ -455,7 +456,8 @@ TEST(CheckpointResumeTest, DigestIdenticalAcrossAlgorithmsAndThreads) {
 TEST(CheckpointResumeTest, InterruptedRunResumesToReferenceDigest) {
   const BipartiteGraph graph = MediumGraph();
   for (Algorithm algorithm :
-       {Algorithm::kMbet, Algorithm::kMbea, Algorithm::kImbea}) {
+       {Algorithm::kMbet, Algorithm::kMbea, Algorithm::kImbea,
+        Algorithm::kBbk}) {
     for (unsigned threads : {1u, 4u}) {
       const std::string ref_path = TempPath("ref.pmbf");
       const DurableRun reference =

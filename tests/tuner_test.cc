@@ -58,6 +58,7 @@ TEST(TunerDecisionTest, TableRowsPinned) {
     EXPECT_EQ(d.rule, TunerRule::kTiny);
     EXPECT_EQ(d.batch_width, 8u);
     EXPECT_EQ(d.max_split, 1u);
+    EXPECT_EQ(d.engine, TunerEngine::kMbet);
   }
 
   // Row 2a: dense by edge density.
@@ -68,6 +69,7 @@ TEST(TunerDecisionTest, TableRowsPinned) {
     EXPECT_EQ(d.rule, TunerRule::kDense);
     EXPECT_EQ(d.batch_width, 32u);
     EXPECT_DOUBLE_EQ(d.bitmap_density, 0.05);
+    EXPECT_EQ(d.engine, TunerEngine::kMbet);
   }
 
   // Row 2b: sparse edges but a crowded two-hop neighborhood.
@@ -75,7 +77,10 @@ TEST(TunerDecisionTest, TableRowsPinned) {
   p.two_hop_ratio = 5.0;
   EXPECT_EQ(Tune(p).rule, TunerRule::kDense);
 
-  // Row 3: hub-dominated degree distribution.
+  // Row 3: hub-dominated degree distribution. BBK, bitmaps forced
+  // (density 0): its witness probes run ~2x faster on word kernels and
+  // MBET measured flat, so the knob is safe even when the engine is
+  // pinned by the query.
   p.two_hop_ratio = 1.0;
   p.degree_skew = 20.0;
   {
@@ -83,6 +88,8 @@ TEST(TunerDecisionTest, TableRowsPinned) {
     EXPECT_EQ(d.rule, TunerRule::kSkewed);
     EXPECT_EQ(d.batch_width, 8u);
     EXPECT_EQ(d.max_split, 32u);
+    EXPECT_EQ(d.engine, TunerEngine::kBbk);
+    EXPECT_DOUBLE_EQ(d.bitmap_density, 0.0);
   }
 
   // Row 4: the measured defaults.
@@ -92,6 +99,8 @@ TEST(TunerDecisionTest, TableRowsPinned) {
     EXPECT_EQ(d.rule, TunerRule::kSparse);
     EXPECT_EQ(d.batch_width, 16u);
     EXPECT_EQ(d.max_split, 8u);
+    EXPECT_EQ(d.engine, TunerEngine::kBbk);
+    EXPECT_DOUBLE_EQ(d.bitmap_density, 0.0);
   }
 }
 
@@ -110,6 +119,12 @@ TEST(TunerDecisionTest, RuleNamesStable) {
   EXPECT_STREQ(TunerRuleName(TunerRule::kDense), "dense");
   EXPECT_STREQ(TunerRuleName(TunerRule::kSkewed), "skewed");
   EXPECT_STREQ(TunerRuleName(TunerRule::kSparse), "sparse");
+}
+
+TEST(TunerDecisionTest, EngineNamesStable) {
+  EXPECT_STREQ(TunerEngineName(TunerEngine::kNone), "none");
+  EXPECT_STREQ(TunerEngineName(TunerEngine::kMbet), "MBET");
+  EXPECT_STREQ(TunerEngineName(TunerEngine::kBbk), "BBK");
 }
 
 TEST(TunerEndToEndTest, AutoTunedRunIsOutputIdenticalAndRecorded) {
@@ -131,7 +146,61 @@ TEST(TunerEndToEndTest, AutoTunedRunIsOutputIdenticalAndRecorded) {
   EXPECT_GE(run.stats.tuned_batch_width, 1u);
   EXPECT_GE(run.stats.tuned_max_split, 1u);
   EXPECT_GT(run.stats.tuned_bitmap_density_x1000, 0u);
+  // This fixture is dense (density 0.15 >= 0.08), so the engine pick is
+  // MBET, and the honored pick is recorded in the stats.
+  EXPECT_EQ(run.stats.tuned_algorithm,
+            static_cast<uint64_t>(TunerEngine::kMbet));
 
+  EXPECT_EQ(tuned.Digest(), ref.Digest());
+  EXPECT_EQ(tuned.count(), ref.count());
+}
+
+TEST(TunerEndToEndTest, EngineRecommendationDispatchesBbk) {
+  // Sparse power-law shape: below every dense threshold, so the decision
+  // table recommends the pivot-free BBK engine. The tuned run must honor
+  // it (recorded in stats) and stay output-identical to the MBET default,
+  // serial and parallel.
+  const BipartiteGraph graph = gen::PowerLaw(200, 150, 1200, 0.85, 0.8, 22);
+  const TunerDecision d = Tune(ProfileGraph(graph, /*seed=*/1));
+  ASSERT_EQ(d.engine, TunerEngine::kBbk) << TunerRuleName(d.rule);
+
+  FingerprintSink ref;
+  ASSERT_TRUE(Enumerate(graph, Options(), &ref, nullptr).ok());
+
+  for (unsigned threads : {1u, 4u}) {
+    FingerprintSink tuned;
+    Options o;
+    o.auto_tune = true;
+    o.threads = threads;
+    RunResult run;
+    ASSERT_TRUE(Enumerate(graph, o, &tuned, &run).ok());
+    EXPECT_EQ(run.stats.tuned_algorithm,
+              static_cast<uint64_t>(TunerEngine::kBbk))
+        << "threads=" << threads;
+    EXPECT_EQ(tuned.Digest(), ref.Digest()) << "threads=" << threads;
+    EXPECT_EQ(tuned.count(), ref.count());
+  }
+}
+
+TEST(TunerEndToEndTest, EngineRecommendationYieldsToPinnedAlgorithm) {
+  // When the query pins a non-interchangeable engine, auto-tune applies
+  // the knob rows but must not override the algorithm; the stats record
+  // no engine pick (0 = pinned/untuned).
+  const BipartiteGraph graph = gen::PowerLaw(200, 150, 1200, 0.85, 0.8, 22);
+  FingerprintSink ref;
+  Options pinned;
+  pinned.algorithm = Algorithm::kImbea;
+  ASSERT_TRUE(Enumerate(graph, pinned, &ref, nullptr).ok());
+
+  FingerprintSink tuned;
+  Options o;
+  o.algorithm = Algorithm::kImbea;
+  o.auto_tune = true;
+  RunResult run;
+  ASSERT_TRUE(Enumerate(graph, o, &tuned, &run).ok());
+  EXPECT_EQ(run.stats.auto_tuned, 1u);
+  EXPECT_EQ(run.stats.tuned_algorithm,
+            static_cast<uint64_t>(TunerEngine::kNone));
   EXPECT_EQ(tuned.Digest(), ref.Digest());
   EXPECT_EQ(tuned.count(), ref.count());
 }

@@ -220,7 +220,8 @@ TEST_P(SchedulingDigestTest, IdenticalAcrossThreadsAndSchedulings) {
 
 INSTANTIATE_TEST_SUITE_P(Algorithms, SchedulingDigestTest,
                          ::testing::Values(Algorithm::kMbet,
-                                           Algorithm::kImbea));
+                                           Algorithm::kImbea,
+                                           Algorithm::kBbk));
 
 // --- Run control under stealing -------------------------------------------
 

@@ -112,10 +112,10 @@ int main(int argc, char** argv) {
                   "generate a registry stand-in instead of loading a file");
   flags.AddDouble("scale", 1.0, "scale for --dataset");
   flags.AddString("algorithm", "mbet",
-                  "mbet | mbetm | minelmbc | mbea | imbea | oombea");
+                  "mbet | mbetm | minelmbc | mbea | imbea | oombea | bbk");
   flags.AddString("order", "deg-asc",
                   "none | deg-asc | deg-desc | twohop | unilateral | random");
-  flags.AddInt("threads", 1, "worker threads (mbet/mbetm/imbea/oombea)");
+  flags.AddInt("threads", 1, "worker threads (mbet/mbetm/imbea/oombea/bbk)");
   flags.AddString("scheduling", "stealing",
                   "parallel scheduling: dynamic | static | stealing");
   flags.AddInt("max_split", 8,
@@ -442,9 +442,13 @@ int main(int argc, char** argv) {
       }
     }
     if (s.auto_tuned != 0) {
-      std::printf("  auto-tune:           rule '%s' -> bitmap_density %.3f, "
-                  "batch_width %llu, max_split %llu\n",
+      std::printf("  auto-tune:           rule '%s' -> engine %s, "
+                  "bitmap_density %.3f, batch_width %llu, max_split %llu\n",
                   TunerRuleName(static_cast<TunerRule>(s.tuner_rule)),
+                  s.tuned_algorithm != 0
+                      ? TunerEngineName(
+                            static_cast<TunerEngine>(s.tuned_algorithm))
+                      : "(pinned)",
                   static_cast<double>(s.tuned_bitmap_density_x1000) / 1000.0,
                   static_cast<unsigned long long>(s.tuned_batch_width),
                   static_cast<unsigned long long>(s.tuned_max_split));

@@ -280,13 +280,32 @@ int main(int argc, char** argv) {
     std::vector<Config> configs;
     for (Algorithm algorithm :
          {Algorithm::kMbetM, Algorithm::kMbea, Algorithm::kImbea,
-          Algorithm::kOombeaLite}) {
+          Algorithm::kOombeaLite, Algorithm::kBbk}) {
       Options o;
       o.algorithm = algorithm;
       if (algorithm == Algorithm::kOombeaLite) {
         o.order = VertexOrder::kUnilateralAsc;
       }
       configs.push_back({AlgorithmName(algorithm), o});
+    }
+    {
+      // Both degenerate densities of BBK's adaptive L' representation.
+      Options o;
+      o.algorithm = Algorithm::kBbk;
+      o.mbet.bitmap_density = 0.0;
+      configs.push_back({"BBK forced bitmap", o});
+    }
+    {
+      Options o;
+      o.algorithm = Algorithm::kBbk;
+      o.mbet.bitmap_density = 2.0;
+      configs.push_back({"BBK bitmap disabled", o});
+    }
+    {
+      Options o;
+      o.algorithm = Algorithm::kBbk;
+      o.threads = 4;
+      configs.push_back({"BBK x4", o});
     }
     {
       Options o;
