@@ -13,10 +13,14 @@
 # the engine legs (mbet/imbea/bbk), all required to enumerate identical
 # bicliques; the fault-injection matrix
 # (-DPMBE_FAULT_INJECTION=ON + ASan: countdown sweep over every fault
-# point, chaos rounds, CLI/env arming, graph_io fuzz smoke); a
-# memory-budget proof; the durable-frontier leg (fault- and SIGKILL-
-# interrupted checkpointing runs resumed, plus a 4-process shard merge,
-# all digest-identical to uninterrupted runs); and the TSan leg.
+# point, chaos rounds, CLI/env arming, graph_io/frontier/wire fuzz
+# smokes); the serve leg (daemon + concurrent digest-verified sessions,
+# injected worker/sink faults, SIGTERM drain) and the serve-chaos leg
+# (network fault injection absorbed by the fault-tolerant client, plus a
+# mid-traffic hot graph reload); a memory-budget proof; the
+# durable-frontier leg (fault- and SIGKILL-interrupted checkpointing runs
+# resumed, plus a 4-process shard merge, all digest-identical to
+# uninterrupted runs); and the TSan leg.
 #
 #   scripts/check.sh [build-dir]        # default build dir: build-asan
 
@@ -434,6 +438,53 @@ grep -q "pmbe_serve draining" "$SERVE_LOG" && grep -q "pmbe_serve stopped" "$SER
 rm -f "$SERVE_SOCK" "$SERVE_LOG" /tmp/pmbe_check_drain_$$.log
 echo "serve leg OK"
 
+echo "=== serve-chaos leg: network faults vs the fault-tolerant client ==="
+# The resilience contract (docs/SERVICE.md, client library): with the
+# daemon's socket layer sabotaged — connection resets, torn frames, read
+# stalls, dropped accepts, delays (the serve/net.h fault points) — a
+# pmbe_load workload driven through mbe::client::Client must still
+# deliver every session exactly once, digest-identical to the fault-free
+# local reference. Three rounds: deterministic countdowns (one of each
+# fault at a fixed op index), a probabilistic storm (every net point at
+# p=0.005, seeded), and a mid-traffic kReloadGraph swap riding a one-shot
+# reset. Every round must end 16 complete / 0 interrupted / 0 rejected /
+# 0 digest mismatches: faults absorbed by retry + reconnect + verified
+# re-issue, never surfaced to the workload.
+chaos_round() {  # chaos_round <tag> <fault-spec> [extra pmbe_load flags...]
+  local tag="$1" spec="$2"; shift 2
+  echo "--- chaos round: $tag ---"
+  start_daemon PMBE_FAULT_INJECT="$spec"
+  load_out=$("$FAULT_DIR/tools/pmbe_load" --unix="$SERVE_SOCK" \
+             --graph=Mti --scale=0.3 --sessions=16 --concurrent=8 \
+             --reload-upload "$@")
+  echo "$load_out" | sed 's/^/  /'
+  echo "$load_out" | \
+    grep -q "16 complete, 0 interrupted, 0 rejected, 0 digest mismatches" || {
+    echo "FAIL: chaos round '$tag' lost or corrupted a session" >&2
+    exit 1
+  }
+  stop_daemon
+}
+chaos_round "countdown one-of-each" \
+  "net.reset:40;net.write_truncate:25;net.read_stall:10;net.accept:1" \
+  --retries=8
+# The countdown offsets land mid-workload by construction, so a clean
+# summary without any client-side retry would mean the faults never hit
+# the wire path at all — require the absorption to be visible.
+echo "$load_out" | grep -Eq "client: [0-9]+ attempts, [1-9][0-9]* retries" || {
+  echo "FAIL: countdown chaos round absorbed no faults (leg is inert)" >&2
+  exit 1
+}
+chaos_round "probabilistic storm" "net.*:p=0.005:seed=9" --retries=12
+chaos_round "mid-traffic reload + reset" "net.reset:60" --retries=8 \
+  --reload-after=4
+echo "$load_out" | grep -q "reloaded 'Mti' mid-traffic (epoch 2)" || {
+  echo "FAIL: kReloadGraph did not swap the live graph mid-traffic" >&2
+  exit 1
+}
+rm -f "$SERVE_SOCK" "$SERVE_LOG"
+echo "serve-chaos leg OK"
+
 echo "=== memory-budget proof: capped run on a worst-case graph ==="
 # DBT at 8 threads charges ~17 MB peak (per-worker sink buffers + split
 # subtree states), so a 1 MiB cap must terminate the run (memory-limit)
@@ -453,6 +504,9 @@ echo "=== graph_io fuzz smoke (bad-input corpus + mutation loop) ==="
 
 echo "=== frontier-snapshot fuzz smoke (codec canonicity + typed errors) ==="
 "$FAULT_DIR/tools/fuzz_frontier" -runs=20000
+
+echo "=== wire-protocol fuzz smoke (total decoding + canonical encoding) ==="
+"$FAULT_DIR/tools/fuzz_wire" -runs=20000
 
 echo "=== ThreadSanitizer leg: work-stealing deque + parallel driver ==="
 # The Chase–Lev deque keeps all shared state in std::atomic precisely so

@@ -1,0 +1,81 @@
+#include "serve/net.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+#include "util/fault.h"
+
+#if defined(PMBE_FAULT_INJECTION)
+#include <chrono>
+#include <thread>
+#endif
+
+namespace mbe::serve::net {
+
+namespace {
+
+#if defined(PMBE_FAULT_INJECTION)
+void MaybeDelay() {
+  if (PMBE_FAULT("net.delay")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+// Kills the connection for real — not just an error return — so the peer
+// observes the failure too and retry paths face a genuinely dead socket.
+int Reset(int fd) {
+  ::shutdown(fd, SHUT_RDWR);
+  errno = ECONNRESET;
+  return -1;
+}
+#endif
+
+}  // namespace
+
+int Accept(int listen_fd) {
+#if defined(PMBE_FAULT_INJECTION)
+  if (PMBE_FAULT("net.accept")) {
+    errno = ECONNABORTED;
+    return -1;
+  }
+#endif
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+ssize_t Send(int fd, const void* buf, size_t len) {
+#if defined(PMBE_FAULT_INJECTION)
+  MaybeDelay();
+  if (PMBE_FAULT("net.reset")) return Reset(fd);
+  if (len > 1 && PMBE_FAULT("net.write_truncate")) {
+    // Deliver a real prefix so the peer receives a torn frame, then kill
+    // the connection mid-write.
+    const size_t prefix = len / 2;
+    const ssize_t n = ::send(fd, buf, prefix, MSG_NOSIGNAL);
+    ::shutdown(fd, SHUT_RDWR);
+    if (n <= 0) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    return n;
+  }
+#endif
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+ssize_t Recv(int fd, void* buf, size_t len) {
+#if defined(PMBE_FAULT_INJECTION)
+  MaybeDelay();
+  if (PMBE_FAULT("net.reset")) return Reset(fd);
+  if (PMBE_FAULT("net.read_stall")) {
+    // The surface of an expired SO_RCVTIMEO, compressed: nap briefly so
+    // stalls interleave with real traffic, then time the call out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    errno = EAGAIN;
+    return -1;
+  }
+#endif
+  return ::recv(fd, buf, len, 0);
+}
+
+}  // namespace mbe::serve::net

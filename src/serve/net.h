@@ -1,0 +1,54 @@
+#ifndef PMBE_SERVE_NET_H_
+#define PMBE_SERVE_NET_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+/// \file
+/// `serve::net` — the socket operations both the server and `mbe::Client`
+/// actually call, as thin wrappers over accept/send/recv with two
+/// properties layered on:
+///
+///  * **SIGPIPE safety**: every send goes out with MSG_NOSIGNAL, so a
+///    peer that died mid-stream surfaces as EPIPE/ECONNRESET instead of
+///    killing the process (both daemons also SIG_IGN SIGPIPE early, as a
+///    belt for paths outside this shim).
+///  * **Deterministic network fault injection**: the `net.*` points of the
+///    PR 5 FaultRegistry catalog (util/fault.h) fire here, in fault builds
+///    only, turning one call into the failure a hostile network would
+///    produce — a reset connection, a stalled read, a truncated write, a
+///    refused accept, injected latency. Regular builds compile the checks
+///    out entirely; these are raw syscalls plus MSG_NOSIGNAL.
+///
+/// Fault behaviors (PMBE_FAULT_INJECTION builds, when armed):
+///  * `net.accept` — Accept fails with ECONNABORTED (transient; accept
+///    loops must continue, which is also correct against real kernels).
+///  * `net.read_stall` — Recv naps briefly, then fails with EAGAIN — the
+///    exact surface of an expired SO_RCVTIMEO, so deadline handling is
+///    exercised without waiting out a real timeout.
+///  * `net.write_truncate` — Send delivers a prefix of the buffer for
+///    real, then kills the connection: the peer sees a torn frame.
+///  * `net.reset` — the connection is shut down and the call fails with
+///    ECONNRESET (fires on both Send and Recv).
+///  * `net.delay` — the call sleeps ~20ms, then proceeds normally.
+///
+/// All functions return like the underlying syscalls: byte count (or fd)
+/// on success, -1 with errno set on failure.
+
+namespace mbe::serve::net {
+
+/// accept(listen_fd) with `net.accept` injection.
+int Accept(int listen_fd);
+
+/// send(fd, ..., MSG_NOSIGNAL) with `net.delay` / `net.reset` /
+/// `net.write_truncate` injection.
+ssize_t Send(int fd, const void* buf, size_t len);
+
+/// recv(fd, ...) with `net.delay` / `net.reset` / `net.read_stall`
+/// injection.
+ssize_t Recv(int fd, void* buf, size_t len);
+
+}  // namespace mbe::serve::net
+
+#endif  // PMBE_SERVE_NET_H_

@@ -8,14 +8,34 @@ namespace mbe::serve {
 bool GraphRegistry::Put(const std::string& name,
                         std::shared_ptr<const Engine> engine) {
   std::lock_guard<std::mutex> lock(mu_);
-  return engines_.emplace(name, std::move(engine)).second;
+  auto [it, inserted] = engines_.emplace(name, Entry{});
+  if (!inserted) return false;
+  it->second.engine = std::move(engine);
+  it->second.epoch = ++last_epoch_[name];
+  return true;
+}
+
+uint64_t GraphRegistry::Swap(const std::string& name,
+                             std::shared_ptr<const Engine> engine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = engines_[name];
+  const bool replaced = entry.engine != nullptr;
+  entry.engine = std::move(engine);
+  entry.epoch = ++last_epoch_[name];
+  if (replaced) ++reloads_;
+  return entry.epoch;
 }
 
 std::shared_ptr<const Engine> GraphRegistry::Get(
     const std::string& name) const {
+  return GetSlot(name).engine;
+}
+
+GraphRegistry::Slot GraphRegistry::GetSlot(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = engines_.find(name);
-  return it == engines_.end() ? nullptr : it->second;
+  if (it == engines_.end()) return Slot{};
+  return Slot{it->second.engine, it->second.epoch};
 }
 
 bool GraphRegistry::Erase(const std::string& name) {
@@ -27,13 +47,18 @@ std::vector<std::string> GraphRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(engines_.size());
-  for (const auto& [name, engine] : engines_) names.push_back(name);
+  for (const auto& [name, entry] : engines_) names.push_back(name);
   return names;
 }
 
 size_t GraphRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return engines_.size();
+}
+
+uint64_t GraphRegistry::reloads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reloads_;
 }
 
 }  // namespace mbe::serve

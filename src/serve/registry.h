@@ -1,6 +1,7 @@
 #ifndef PMBE_SERVE_REGISTRY_H_
 #define PMBE_SERVE_REGISTRY_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -12,27 +13,50 @@
 /// `serve::GraphRegistry` — the load-once graph store of a serving
 /// process. Clients (or the server's preload flags) build an `mbe::Engine`
 /// per graph; every session after that shares the immutable engine by
-/// `shared_ptr<const Engine>`, so dropping a graph never invalidates
-/// in-flight sessions — they keep their reference until they retire.
+/// `shared_ptr<const Engine>`, so swapping or dropping a graph never
+/// invalidates in-flight sessions — they keep their reference until they
+/// retire.
 ///
 /// Names form one flat namespace shared by every connection (the protocol
-/// carries no authentication), so registration is first-wins: `Put` refuses
-/// to overwrite, and a name must be `Erase`d before it can be reused.
-/// Without that rule any client could silently swap the graph under
-/// another tenant's future sessions.
+/// carries no authentication), so plain registration is first-wins: `Put`
+/// refuses to overwrite. Replacement is a separate, deliberate operation:
+/// `Swap` installs a new engine under an existing (or fresh) name and bumps
+/// the slot's *epoch* — a monotone version number starting at 1. Sessions
+/// that resolved the slot before the swap finish on the old engine (their
+/// `shared_ptr` keeps it alive); sessions started after bind the new epoch.
+/// `kReloadGraph` frames and `pmbe_serve`'s SIGHUP re-preload both drive
+/// `Swap`.
 
 namespace mbe::serve {
 
 class GraphRegistry {
  public:
-  /// Registers `engine` under `name`. Returns false — leaving the existing
-  /// engine in place — when the name is already taken.
+  /// One epoch-versioned engine slot, as resolved at a point in time.
+  struct Slot {
+    std::shared_ptr<const Engine> engine;
+    uint64_t epoch = 0;  ///< 0 = name not registered
+  };
+
+  /// Registers `engine` under `name` at the name's next epoch (1 for a
+  /// never-used name). Returns false — leaving the existing engine in
+  /// place — when the name is already taken.
   bool Put(const std::string& name, std::shared_ptr<const Engine> engine);
+
+  /// Installs `engine` under `name`, replacing any existing engine, and
+  /// returns the slot's new epoch (1 for a fresh name, previous + 1 for a
+  /// replacement). In-flight sessions holding the old engine's
+  /// `shared_ptr` are unaffected.
+  uint64_t Swap(const std::string& name,
+                std::shared_ptr<const Engine> engine);
 
   /// The engine registered under `name`, or nullptr.
   std::shared_ptr<const Engine> Get(const std::string& name) const;
 
-  /// Drops `name`; returns whether it existed.
+  /// The engine and its current epoch ({nullptr, 0} when unregistered).
+  Slot GetSlot(const std::string& name) const;
+
+  /// Drops `name`; returns whether it existed. The epoch survives the
+  /// erase, so a later Swap of the same name keeps the version monotone.
   bool Erase(const std::string& name);
 
   /// Registered names, sorted.
@@ -40,9 +64,21 @@ class GraphRegistry {
 
   size_t size() const;
 
+  /// Total Swap calls that replaced a live engine (the reload counter
+  /// surfaced by kServerInfo).
+  uint64_t reloads() const;
+
  private:
+  struct Entry {
+    std::shared_ptr<const Engine> engine;
+    uint64_t epoch = 0;
+  };
+
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const Engine>> engines_;
+  std::map<std::string, Entry> engines_;
+  /// Last epoch per name, kept across Erase so versions never rewind.
+  std::map<std::string, uint64_t> last_epoch_;
+  uint64_t reloads_ = 0;
 };
 
 }  // namespace mbe::serve

@@ -20,6 +20,7 @@
 
 #include "graph/bipartite_graph.h"
 #include "graph/ordering.h"
+#include "serve/net.h"
 
 namespace mbe::serve {
 
@@ -48,6 +49,7 @@ class WireSink : public ResultSink {
             std::span<const VertexId> right) override {
     std::lock_guard<std::mutex> lock(mu_);
     if (failed_.load(std::memory_order_relaxed)) return;
+    fingerprint_.Emit(left, right);
     pending_.batch.Append(left, right);
     if (pending_.batch.size() >= batch_results_) FlushLocked();
   }
@@ -55,6 +57,7 @@ class WireSink : public ResultSink {
   void EmitBatch(const BicliqueBatch& batch) override {
     std::lock_guard<std::mutex> lock(mu_);
     if (failed_.load(std::memory_order_relaxed)) return;
+    fingerprint_.EmitBatch(batch);
     for (size_t i = 0; i < batch.size(); ++i) {
       pending_.batch.Append(batch.left(i), batch.right(i));
     }
@@ -73,6 +76,11 @@ class WireSink : public ResultSink {
     std::lock_guard<std::mutex> lock(mu_);
     FlushLocked();
   }
+
+  /// Commutative digest over every biclique handed to this sink — the
+  /// same FingerprintSink fold clients run over received batches, so
+  /// SessionDoneMsg::digest matches a complete stream by construction.
+  uint64_t Digest() const { return fingerprint_.Digest(); }
 
  private:
   /// `write_` only queues the frame onto the connection's writer thread
@@ -94,6 +102,7 @@ class WireSink : public ResultSink {
   const uint32_t batch_results_;
   mutable std::mutex mu_;
   ResultBatchMsg pending_;
+  FingerprintSink fingerprint_;
   std::atomic<bool> failed_{false};
 };
 
@@ -192,8 +201,8 @@ struct Server::Connection {
       size_t off = 0;
       bool sent = true;
       while (off < frame.size()) {
-        const ssize_t n = ::send(fd, frame.data() + off, frame.size() - off,
-                                 MSG_NOSIGNAL);
+        const ssize_t n =
+            net::Send(fd, frame.data() + off, frame.size() - off);
         if (n < 0 && errno == EINTR) continue;
         if (n <= 0) {  // connection error or SO_SNDTIMEO expired
           sent = false;
@@ -343,15 +352,18 @@ void Server::Stop() {
 
 void Server::AcceptLoop() {
   for (;;) {
-    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int client_fd = net::Accept(listen_fd_);
     if (client_fd < 0) {
-      if (errno == EINTR) continue;
+      // ECONNABORTED: the peer (or an injected net.accept fault) gave up
+      // between connect and accept — transient, keep serving.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // Stop() shut the listener down (or it broke)
     }
     if (stopping_.load()) {
       ::close(client_fd);
       return;
     }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>();
     conn->fd = client_fd;
     conn->max_outbound_bytes = options_.max_outbound_bytes;
@@ -359,6 +371,19 @@ void Server::AcceptLoop() {
       timeval timeout{};
       timeout.tv_sec = options_.write_timeout_seconds;
       ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout,
+                   sizeof(timeout));
+    }
+    if (options_.idle_timeout_seconds > 0) {
+      // The reader's recv wakes with EAGAIN after this long without
+      // traffic; ConnectionLoop then drops the connection only when it
+      // has no in-flight sessions.
+      timeval timeout{};
+      timeout.tv_sec = static_cast<time_t>(options_.idle_timeout_seconds);
+      timeout.tv_usec = static_cast<suseconds_t>(
+          (options_.idle_timeout_seconds - static_cast<double>(timeout.tv_sec)) *
+          1e6);
+      if (timeout.tv_sec == 0 && timeout.tv_usec == 0) timeout.tv_usec = 1;
+      ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
                    sizeof(timeout));
     }
     {
@@ -413,8 +438,26 @@ void Server::ConnectionLoop(std::shared_ptr<Connection> conn) {
     buffer.erase(buffer.begin(),
                  buffer.begin() + static_cast<ptrdiff_t>(consumed));
     if (!keep_going) break;
-    const ssize_t n = ::recv(conn->fd, chunk.data(), chunk.size(), 0);
+    const ssize_t n = net::Recv(conn->fd, chunk.data(), chunk.size());
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // SO_RCVTIMEO expired (or an injected net.read_stall). With the
+      // idle timeout armed, a connection with no in-flight sessions has
+      // now been silent for the whole window — drop it; one with work
+      // still streaming keeps its socket.
+      if (options_.idle_timeout_seconds > 0) {
+        bool has_sessions;
+        {
+          std::lock_guard<std::mutex> lock(conn->sessions_mu);
+          has_sessions = !conn->sessions.empty();
+        }
+        if (!has_sessions) {
+          idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        }
+      }
+      continue;
+    }
     if (n <= 0) break;  // peer closed or connection error
     buffer.insert(buffer.end(), chunk.data(), chunk.data() + n);
   }
@@ -450,7 +493,11 @@ bool Server::HandleMessage(const std::shared_ptr<Connection>& conn,
     return true;
   }
   if (auto* load = std::get_if<LoadGraphMsg>(&message)) {
-    HandleLoadGraph(conn, std::move(*load));
+    HandleLoadGraph(conn, std::move(*load), /*swap=*/false);
+    return !conn->dead.load();
+  }
+  if (auto* reload = std::get_if<ReloadGraphMsg>(&message)) {
+    HandleLoadGraph(conn, std::move(reload->load), /*swap=*/true);
     return !conn->dead.load();
   }
   if (auto* start = std::get_if<StartSessionMsg>(&message)) {
@@ -465,6 +512,15 @@ bool Server::HandleMessage(const std::shared_ptr<Connection>& conn,
     if (it != conn->sessions.end()) it->second->session->Cancel();
     return true;
   }
+  if (auto* ping = std::get_if<PingMsg>(&message)) {
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+    conn->WriteFrame(PongMsg{ping->token});
+    return true;
+  }
+  if (std::get_if<InfoRequestMsg>(&message) != nullptr) {
+    conn->WriteFrame(Info());
+    return true;
+  }
   // Server-to-client types bounced back (or a future message type):
   // protocol violation.
   conn->WriteFrame(ErrorMsg{"unexpected message type"});
@@ -472,7 +528,7 @@ bool Server::HandleMessage(const std::shared_ptr<Connection>& conn,
 }
 
 void Server::HandleLoadGraph(const std::shared_ptr<Connection>& conn,
-                             LoadGraphMsg msg) {
+                             LoadGraphMsg msg, bool swap) {
   auto fail = [&](const std::string& detail) {
     conn->WriteFrame(ErrorMsg{"load '" + msg.name + "': " + detail});
     conn->Abandon();
@@ -481,10 +537,11 @@ void Server::HandleLoadGraph(const std::shared_ptr<Connection>& conn,
     fail("unknown vertex order " + std::to_string(msg.order));
     return;
   }
-  // First-wins namespace (registry.h): refuse before the expensive engine
-  // build. A client must not be able to swap the graph under a name other
-  // tenants' future sessions resolve.
-  if (registry_.Get(msg.name) != nullptr) {
+  // First-wins namespace (registry.h): a plain load refuses before the
+  // expensive engine build — a client must not be able to swap the graph
+  // under a name other tenants' future sessions resolve. kReloadGraph is
+  // the deliberate swap: it skips this check and bumps the slot's epoch.
+  if (!swap && registry_.Get(msg.name) != nullptr) {
     fail("graph name already registered");
     return;
   }
@@ -523,11 +580,35 @@ void Server::HandleLoadGraph(const std::shared_ptr<Connection>& conn,
   // actually enumerate over.
   ok.num_edges = engine.value()->graph().num_edges();
   ok.build_seconds = engine.value()->build_seconds();
-  if (!registry_.Put(msg.name, std::move(engine).value())) {
-    fail("graph name already registered");  // raced a concurrent load
-    return;
+  if (swap) {
+    ok.epoch = registry_.Swap(msg.name, std::move(engine).value());
+  } else {
+    if (!registry_.Put(msg.name, std::move(engine).value())) {
+      fail("graph name already registered");  // raced a concurrent load
+      return;
+    }
+    ok.epoch = registry_.GetSlot(msg.name).epoch;
   }
   conn->WriteFrame(ok);
+}
+
+ServerInfoMsg Server::Info() const {
+  ServerInfoMsg info;
+  info.pool_threads = pool_threads_;
+  info.active_sessions = static_cast<uint32_t>(admission_.active());
+  info.queued_sessions = static_cast<uint32_t>(admission_.queued());
+  info.graphs = static_cast<uint32_t>(registry_.size());
+  info.sessions_started =
+      sessions_started_.load(std::memory_order_relaxed);
+  info.sessions_completed =
+      sessions_completed_.load(std::memory_order_relaxed);
+  info.reloads = registry_.reloads();
+  info.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  info.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
+  info.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  info.draining = admission_.draining() ? 1 : 0;
+  return info;
 }
 
 void Server::StartSession(const std::shared_ptr<Connection>& conn,
@@ -626,6 +707,7 @@ void Server::RunStarter(const std::shared_ptr<Connection>& conn,
     return;
   }
   conn->WriteFrame(SessionStartedMsg{session_id});
+  sessions_started_.fetch_add(1, std::memory_order_relaxed);
   pool_->Submit(rec->session, [this, conn, rec,
                                session_id](const RunResult& result) {
     rec->sink->Flush();  // final partial batch precedes kSessionDone
@@ -638,12 +720,17 @@ void Server::RunStarter(const std::shared_ptr<Connection>& conn,
     done.peak_charged_bytes = result.stats.peak_charged_bytes;
     done.queue_wait_ns = result.stats.queue_wait_ns;
     done.seconds = result.seconds;
+    // Digest over everything flushed toward the client: a receiver whose
+    // own fingerprint fold disagrees is missing (or double-counting)
+    // batches and must not trust the stream.
+    done.digest = rec->sink->Digest();
     done.message = result.message;
     conn->WriteFrame(done);
     {
       std::lock_guard<std::mutex> inner(conn->sessions_mu);
       conn->sessions.erase(session_id);
     }
+    sessions_completed_.fetch_add(1, std::memory_order_relaxed);
     admission_.Release();
   });
 }

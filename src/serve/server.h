@@ -65,6 +65,10 @@ struct ServerOptions {
   /// SO_SNDTIMEO on client sockets: a single blocked send() past this is
   /// treated as connection failure. 0 disables the timeout.
   unsigned write_timeout_seconds = 30;
+  /// Drop a connection that has no in-flight sessions and sends nothing
+  /// for this long (counted in kServerInfo::idle_disconnects). 0 disables
+  /// the timeout. Fractional values work (tests use sub-second ones).
+  double idle_timeout_seconds = 0;
 };
 
 class Server {
@@ -92,6 +96,10 @@ class Server {
   /// ones finish. Connections stay open.
   void BeginDrain();
 
+  /// Live health counters — the kServerInfo payload, also used by
+  /// pmbe_serve --stats. Safe from any thread.
+  ServerInfoMsg Info() const;
+
   /// True when no session is running or queued.
   bool idle() const;
 
@@ -114,8 +122,10 @@ class Server {
   void RunStarter(const std::shared_ptr<Connection>& conn,
                   const std::shared_ptr<internal::SessionRec>& rec,
                   uint64_t session_id);
+  /// `swap` false: first-wins kLoadGraph. `swap` true: kReloadGraph —
+  /// replaces (or inserts) the engine slot in a new epoch.
   void HandleLoadGraph(const std::shared_ptr<Connection>& conn,
-                       LoadGraphMsg msg);
+                       LoadGraphMsg msg, bool swap);
 
   const ServerOptions options_;
   unsigned pool_threads_;
@@ -133,6 +143,14 @@ class Server {
   std::vector<std::shared_ptr<Connection>> connections_;
 
   std::atomic<uint64_t> next_session_id_{1};
+
+  // kServerInfo counters (the rest of the payload is read live from the
+  // admission controller and the registry).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> heartbeats_{0};
+  std::atomic<uint64_t> idle_disconnects_{0};
+  std::atomic<uint64_t> sessions_started_{0};
+  std::atomic<uint64_t> sessions_completed_{0};
 };
 
 }  // namespace mbe::serve

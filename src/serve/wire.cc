@@ -148,6 +148,7 @@ void EncodePayload(const LoadOkMsg& m, Writer& w) {
   w.U32(m.num_left);
   w.U32(m.num_right);
   w.U64(m.num_edges);
+  w.U64(m.epoch);
   w.F64(m.build_seconds);
 }
 
@@ -193,6 +194,7 @@ void EncodePayload(const SessionDoneMsg& m, Writer& w) {
   w.U64(m.peak_charged_bytes);
   w.U64(m.queue_wait_ns);
   w.F64(m.seconds);
+  w.U64(m.digest);
   w.Str(m.message);
 }
 
@@ -202,6 +204,61 @@ void EncodePayload(const RejectedMsg& m, Writer& w) {
 }
 
 void EncodePayload(const ErrorMsg& m, Writer& w) { w.Str(m.detail); }
+
+void EncodePayload(const PingMsg& m, Writer& w) { w.U64(m.token); }
+
+void EncodePayload(const PongMsg& m, Writer& w) { w.U64(m.token); }
+
+void EncodePayload(const InfoRequestMsg&, Writer&) {}
+
+void EncodePayload(const ServerInfoMsg& m, Writer& w) {
+  w.U32(m.pool_threads);
+  w.U32(m.active_sessions);
+  w.U32(m.queued_sessions);
+  w.U32(m.graphs);
+  w.U64(m.sessions_started);
+  w.U64(m.sessions_completed);
+  w.U64(m.reloads);
+  w.U64(m.heartbeats);
+  w.U64(m.idle_disconnects);
+  w.U64(m.connections_accepted);
+  w.U8(m.draining);
+}
+
+void EncodePayload(const ReloadGraphMsg& m, Writer& w) {
+  // Same payload as kLoadGraph; the type byte carries the swap semantics.
+  EncodePayload(m.load, w);
+}
+
+/// kLoadGraph payload body, shared with kReloadGraph (same layout).
+util::StatusOr<LoadGraphMsg> DecodeLoadGraphBody(Reader& r) {
+  LoadGraphMsg m;
+  m.name = r.Str(kMaxNameBytes);
+  m.num_left = r.U32();
+  m.num_right = r.U32();
+  m.order = r.U8();
+  m.hub_first_left = r.Bool();
+  m.auto_swap_sides = r.Bool();
+  m.core_reduce = r.Bool();
+  m.min_left = r.U32();
+  m.min_right = r.U32();
+  m.seed = r.U64();
+  const uint64_t edges = r.U64();
+  // Each edge is two u32 ids: an honest count fills the remaining
+  // payload exactly, so a corrupt count cannot drive a giant reserve.
+  if (!r.ok() || r.remaining() % 8 != 0 || edges != r.remaining() / 8) {
+    return util::Status::CorruptData("kLoadGraph: edge count mismatch");
+  }
+  if (edges > 0 && (m.num_left == 0 || m.num_right == 0)) {
+    return util::Status::CorruptData("kLoadGraph: edges on an empty side");
+  }
+  m.edge_left = r.Ids(edges, m.num_left);
+  m.edge_right = r.Ids(edges, m.num_right);
+  if (!r.ok()) {
+    return util::Status::CorruptData("kLoadGraph: edge id out of range");
+  }
+  return m;
+}
 
 util::StatusOr<Message> DecodePayload(MsgType type, Reader& r) {
   switch (type) {
@@ -218,32 +275,9 @@ util::StatusOr<Message> DecodePayload(MsgType type, Reader& r) {
       return Message{m};
     }
     case MsgType::kLoadGraph: {
-      LoadGraphMsg m;
-      m.name = r.Str(kMaxNameBytes);
-      m.num_left = r.U32();
-      m.num_right = r.U32();
-      m.order = r.U8();
-      m.hub_first_left = r.Bool();
-      m.auto_swap_sides = r.Bool();
-      m.core_reduce = r.Bool();
-      m.min_left = r.U32();
-      m.min_right = r.U32();
-      m.seed = r.U64();
-      const uint64_t edges = r.U64();
-      // Each edge is two u32 ids: an honest count fills the remaining
-      // payload exactly, so a corrupt count cannot drive a giant reserve.
-      if (!r.ok() || r.remaining() % 8 != 0 || edges != r.remaining() / 8) {
-        return util::Status::CorruptData("kLoadGraph: edge count mismatch");
-      }
-      if (edges > 0 && (m.num_left == 0 || m.num_right == 0)) {
-        return util::Status::CorruptData("kLoadGraph: edges on an empty side");
-      }
-      m.edge_left = r.Ids(edges, m.num_left);
-      m.edge_right = r.Ids(edges, m.num_right);
-      if (!r.ok()) {
-        return util::Status::CorruptData("kLoadGraph: edge id out of range");
-      }
-      return Message{std::move(m)};
+      util::StatusOr<LoadGraphMsg> m = DecodeLoadGraphBody(r);
+      PMBE_RETURN_IF_ERROR(m.status());
+      return Message{std::move(m).value()};
     }
     case MsgType::kLoadOk: {
       LoadOkMsg m;
@@ -251,6 +285,7 @@ util::StatusOr<Message> DecodePayload(MsgType type, Reader& r) {
       m.num_left = r.U32();
       m.num_right = r.U32();
       m.num_edges = r.U64();
+      m.epoch = r.U64();
       m.build_seconds = r.F64();
       return Message{std::move(m)};
     }
@@ -310,6 +345,7 @@ util::StatusOr<Message> DecodePayload(MsgType type, Reader& r) {
       m.peak_charged_bytes = r.U64();
       m.queue_wait_ns = r.U64();
       m.seconds = r.F64();
+      m.digest = r.U64();
       m.message = r.Str(kMaxPayloadBytes);
       return Message{std::move(m)};
     }
@@ -322,6 +358,41 @@ util::StatusOr<Message> DecodePayload(MsgType type, Reader& r) {
     case MsgType::kError: {
       ErrorMsg m;
       m.detail = r.Str(kMaxPayloadBytes);
+      return Message{std::move(m)};
+    }
+    case MsgType::kPing: {
+      PingMsg m;
+      m.token = r.U64();
+      return Message{m};
+    }
+    case MsgType::kPong: {
+      PongMsg m;
+      m.token = r.U64();
+      return Message{m};
+    }
+    case MsgType::kInfoRequest: {
+      return Message{InfoRequestMsg{}};
+    }
+    case MsgType::kServerInfo: {
+      ServerInfoMsg m;
+      m.pool_threads = r.U32();
+      m.active_sessions = r.U32();
+      m.queued_sessions = r.U32();
+      m.graphs = r.U32();
+      m.sessions_started = r.U64();
+      m.sessions_completed = r.U64();
+      m.reloads = r.U64();
+      m.heartbeats = r.U64();
+      m.idle_disconnects = r.U64();
+      m.connections_accepted = r.U64();
+      m.draining = r.U8();
+      return Message{m};
+    }
+    case MsgType::kReloadGraph: {
+      util::StatusOr<LoadGraphMsg> body = DecodeLoadGraphBody(r);
+      PMBE_RETURN_IF_ERROR(body.status());
+      ReloadGraphMsg m;
+      m.load = std::move(body).value();
       return Message{std::move(m)};
     }
   }
@@ -364,6 +435,11 @@ MsgType TypeOf(const Message& message) {
     MsgType operator()(const SessionDoneMsg&) { return MsgType::kSessionDone; }
     MsgType operator()(const RejectedMsg&) { return MsgType::kRejected; }
     MsgType operator()(const ErrorMsg&) { return MsgType::kError; }
+    MsgType operator()(const PingMsg&) { return MsgType::kPing; }
+    MsgType operator()(const PongMsg&) { return MsgType::kPong; }
+    MsgType operator()(const InfoRequestMsg&) { return MsgType::kInfoRequest; }
+    MsgType operator()(const ServerInfoMsg&) { return MsgType::kServerInfo; }
+    MsgType operator()(const ReloadGraphMsg&) { return MsgType::kReloadGraph; }
   };
   return std::visit(Visitor{}, message);
 }
@@ -374,19 +450,26 @@ namespace {
 /// violates them must fail here, cleanly — encoding it anyway would
 /// produce a frame the peer rejects as corrupt, which the header promises
 /// never happens.
+util::Status ValidateLoadBody(const LoadGraphMsg& load) {
+  if (load.edge_left.size() != load.edge_right.size()) {
+    return util::Status::InvalidArgument(
+        "kLoadGraph: edge_left/edge_right size mismatch (" +
+        std::to_string(load.edge_left.size()) + " vs " +
+        std::to_string(load.edge_right.size()) + ")");
+  }
+  if (load.name.size() > kMaxNameBytes) {
+    return util::Status::InvalidArgument(
+        "kLoadGraph: name exceeds " + std::to_string(kMaxNameBytes) +
+        " bytes");
+  }
+  return util::Status::Ok();
+}
+
 util::Status ValidateForEncode(const Message& message) {
   if (const auto* load = std::get_if<LoadGraphMsg>(&message)) {
-    if (load->edge_left.size() != load->edge_right.size()) {
-      return util::Status::InvalidArgument(
-          "kLoadGraph: edge_left/edge_right size mismatch (" +
-          std::to_string(load->edge_left.size()) + " vs " +
-          std::to_string(load->edge_right.size()) + ")");
-    }
-    if (load->name.size() > kMaxNameBytes) {
-      return util::Status::InvalidArgument(
-          "kLoadGraph: name exceeds " + std::to_string(kMaxNameBytes) +
-          " bytes");
-    }
+    PMBE_RETURN_IF_ERROR(ValidateLoadBody(*load));
+  } else if (const auto* reload = std::get_if<ReloadGraphMsg>(&message)) {
+    PMBE_RETURN_IF_ERROR(ValidateLoadBody(reload->load));
   } else if (const auto* ok = std::get_if<LoadOkMsg>(&message)) {
     if (ok->name.size() > kMaxNameBytes) {
       return util::Status::InvalidArgument(
@@ -459,6 +542,43 @@ util::StatusOr<Message> DecodeMessage(std::span<const uint8_t> frame) {
     return util::Status::CorruptData("payload has trailing or missing bytes");
   }
   return decoded;
+}
+
+void FrameAssembler::Feed(std::span<const uint8_t> bytes) {
+  if (!poison_.ok()) return;
+  // Compact once the dead prefix dominates, so a long-lived stream does
+  // not grow the buffer past one frame plus slack.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+util::StatusOr<bool> FrameAssembler::Next(Message* out) {
+  PMBE_CHECK(out != nullptr);
+  if (!poison_.ok()) return poison_;
+  const std::span<const uint8_t> pending(buffer_.data() + consumed_,
+                                         buffer_.size() - consumed_);
+  size_t frame_size = 0;
+  bool complete = false;
+  util::Status status = PeekFrame(pending, &frame_size, &complete);
+  if (status.ok() && complete) {
+    util::StatusOr<Message> decoded =
+        DecodeMessage(pending.subspan(0, frame_size));
+    status = decoded.status();
+    if (status.ok()) {
+      consumed_ += frame_size;
+      *out = std::move(decoded).value();
+      return true;
+    }
+  }
+  if (!status.ok()) {
+    poison_ = status;
+    return poison_;
+  }
+  return false;
 }
 
 }  // namespace mbe::serve

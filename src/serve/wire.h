@@ -44,10 +44,21 @@
 ///    kDraining, ...): the request was not started.
 ///  * kError (server) — protocol-level failure; the server closes the
 ///    connection after sending it.
+///  * kPing / kPong (server) — heartbeat; the token echoes back so a
+///    client can match responses under pipelining.
+///  * kInfoRequest / kServerInfo (server) — live health counters
+///    (active/queued sessions, reloads, heartbeats, idle disconnects).
+///  * kReloadGraph / kLoadOk (server) — like kLoadGraph but with swap
+///    semantics: replaces (or inserts) the named engine in a new epoch;
+///    in-flight sessions finish on the engine they started with.
+///
+/// Version history: v1 = PR 6 (kHello..kError); v2 adds the heartbeat,
+/// health, and reload messages plus SessionDoneMsg::digest and
+/// LoadOkMsg::epoch.
 
 namespace mbe::serve {
 
-inline constexpr uint32_t kProtocolVersion = 1;
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /// Hard bound on one frame's payload; DecodeMessage and PeekFrame reject
 /// larger claims outright, so a corrupt length prefix cannot trigger a
@@ -72,6 +83,11 @@ enum class MsgType : uint8_t {
   kSessionDone = 9,
   kRejected = 10,
   kError = 11,
+  kPing = 12,
+  kPong = 13,
+  kInfoRequest = 14,
+  kServerInfo = 15,
+  kReloadGraph = 16,
 };
 
 /// Why the server refused to start a session (RejectedMsg::reason).
@@ -119,6 +135,9 @@ struct LoadOkMsg {
   uint32_t num_left = 0;
   uint32_t num_right = 0;
   uint64_t num_edges = 0;
+  /// Registry epoch of the engine slot this load produced. First-wins
+  /// loads are epoch 1; every kReloadGraph swap increments it.
+  uint64_t epoch = 0;
   double build_seconds = 0;
 };
 
@@ -161,6 +180,11 @@ struct SessionDoneMsg {
   /// Time the session spent queued before its first task ran.
   uint64_t queue_wait_ns = 0;
   double seconds = 0;
+  /// Commutative FingerprintSink digest of every result batch the server
+  /// streamed for this session. A client that folds its received batches
+  /// through the same sink must land on this value — the completeness
+  /// check that makes retried streams safe to accept.
+  uint64_t digest = 0;
   std::string message;
 };
 
@@ -173,10 +197,49 @@ struct ErrorMsg {
   std::string detail;
 };
 
+/// Heartbeat: the server echoes the token back in a kPong. Cheap enough
+/// to interleave with streaming sessions; also resets the connection's
+/// idle-timeout clock like any other frame.
+struct PingMsg {
+  uint64_t token = 0;
+};
+
+struct PongMsg {
+  uint64_t token = 0;
+};
+
+/// Empty payload — the frame type alone is the request.
+struct InfoRequestMsg {};
+
+/// Live server health counters (pmbe_serve --stats renders these).
+struct ServerInfoMsg {
+  uint32_t pool_threads = 0;
+  uint32_t active_sessions = 0;
+  uint32_t queued_sessions = 0;
+  uint32_t graphs = 0;
+  uint64_t sessions_started = 0;
+  uint64_t sessions_completed = 0;
+  uint64_t reloads = 0;
+  uint64_t heartbeats = 0;
+  uint64_t idle_disconnects = 0;
+  uint64_t connections_accepted = 0;
+  uint8_t draining = 0;
+};
+
+/// Like kLoadGraph but with swap semantics: builds a new engine and
+/// replaces (or inserts) the registry slot under `load.name`, bumping its
+/// epoch. In-flight sessions keep their engine reference and finish on
+/// the pre-swap graph. Replied to with kLoadOk carrying the new epoch.
+struct ReloadGraphMsg {
+  LoadGraphMsg load;
+};
+
 using Message =
     std::variant<HelloMsg, HelloOkMsg, LoadGraphMsg, LoadOkMsg,
                  StartSessionMsg, SessionStartedMsg, CancelSessionMsg,
-                 ResultBatchMsg, SessionDoneMsg, RejectedMsg, ErrorMsg>;
+                 ResultBatchMsg, SessionDoneMsg, RejectedMsg, ErrorMsg,
+                 PingMsg, PongMsg, InfoRequestMsg, ServerInfoMsg,
+                 ReloadGraphMsg>;
 
 /// The frame type a message encodes as.
 MsgType TypeOf(const Message& message);
@@ -198,6 +261,32 @@ util::Status PeekFrame(std::span<const uint8_t> buffer, size_t* frame_size,
 /// Total: any input yields a message or a typed error. Valid frames
 /// round-trip: EncodeMessage(DecodeMessage(f)) == f.
 util::StatusOr<Message> DecodeMessage(std::span<const uint8_t> frame);
+
+/// Incremental stream decoder: feed byte chunks exactly as a socket
+/// delivers them (any split — 1 byte at a time, mid-header, mid-payload)
+/// and pop complete messages. Decoding is split-invariant: the message
+/// sequence is identical to whole-frame delivery. Corrupt framing or
+/// payloads surface as the same typed statuses as DecodeMessage and
+/// poison the assembler — a byte stream cannot be resynchronized after a
+/// bad length prefix, so the connection must be dropped.
+class FrameAssembler {
+ public:
+  /// Appends stream bytes.
+  void Feed(std::span<const uint8_t> bytes);
+
+  /// Pops the next complete message into `*out`. Returns true when one
+  /// was produced, false when the buffer holds no complete frame yet, or
+  /// a typed error on corrupt input (every later call repeats the error).
+  util::StatusOr<bool> Next(Message* out);
+
+  /// Bytes fed but not yet consumed by Next (partial frame in flight).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+  util::Status poison_ = util::Status::Ok();
+};
 
 }  // namespace mbe::serve
 

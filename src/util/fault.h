@@ -34,9 +34,16 @@
 ///  * probabilistically — `ArmProbability(0.01, seed)` makes every site
 ///    fire independently with the given probability (deterministic in the
 ///    seed and hit order);
+///  * per point probabilistically — `ArmPointProbability("net.reset", 0.05,
+///    seed)` fires only that site, with its own deterministic stream;
 ///  * from the environment — `PMBE_FAULT_INJECT="arena.grow:3"` or
 ///    `PMBE_FAULT_INJECT="*:p=0.01:seed=7"`, read once at first use, so
 ///    any binary can run under a fault schedule without code changes.
+///    Specs compose: `;`-joined clauses arm independently
+///    (`"net.reset:p=0.05;net.delay:p=0.2:seed=3"`), and a `<prefix>.*`
+///    wildcard arms every catalog point under the prefix
+///    (`"net.*:p=0.1:seed=7"` arms the five network points and nothing
+///    else — unlike `*`, which arms every site in the process).
 
 namespace mbe::util {
 
@@ -53,6 +60,12 @@ inline constexpr const char* kFaultPoints[] = {
     "worker.task",   // parallel worker starting a subtree/shard (throws)
     "worker.stall",  // parallel worker pausing mid-pipeline (sleeps)
     "loader.line",   // graph_io reading one input line
+    // Network path (src/serve/net.h faulting socket shim; client + server).
+    "net.accept",         // server accept() fails transiently
+    "net.read_stall",     // recv() stalls until the caller's deadline
+    "net.write_truncate", // send() writes a short count then drops the peer
+    "net.reset",          // connection reset (ECONNRESET) on read or write
+    "net.delay",          // bounded latency injected before a socket op
 };
 inline constexpr size_t kNumFaultPoints =
     sizeof(kFaultPoints) / sizeof(kFaultPoints[0]);
@@ -89,9 +102,20 @@ class FaultRegistry {
   /// in `seed` and the per-point hit order.
   void ArmProbability(double p, uint64_t seed);
 
-  /// Parses and applies a schedule spec: "<point>:<countdown>" or
-  /// "*:p=<probability>[:seed=<seed>]". Unknown points (not in
-  /// kFaultPoints) are InvalidArgument, so typos fail loudly.
+  /// Only `point` fires, independently with probability `p`, from its own
+  /// deterministic stream (seeded by `seed` and the point's hit order).
+  /// Replaces any previous per-point probability for the point; composes
+  /// with countdowns and other points' schedules.
+  void ArmPointProbability(const std::string& point, double p, uint64_t seed);
+
+  /// Parses and applies a schedule spec. Grammar (clauses join with ';'):
+  ///   <point>:<countdown>            fire once at the nth execution
+  ///   <point>:p=<prob>[:seed=<s>]    per-point probability
+  ///   <prefix>.*:p=<prob>[:seed=<s>] per-point probability for every
+  ///                                  catalog point under the prefix
+  ///   *:p=<prob>[:seed=<s>]          global probability, every site
+  /// Unknown points (not in kFaultPoints) and prefixes matching nothing
+  /// are InvalidArgument, so typos fail loudly.
   Status ArmSpec(const std::string& spec);
 
   /// Clears every schedule (hit/injection counters are kept).
@@ -115,7 +139,10 @@ class FaultRegistry {
 
   struct PointState {
     uint64_t hits = 0;
-    uint64_t countdown = 0;  ///< 0 = no countdown armed
+    uint64_t countdown = 0;     ///< 0 = no countdown armed
+    double probability = 0;     ///< 0 = no per-point probability armed
+    uint64_t prob_seed = 0;
+    uint64_t prob_counter = 0;  ///< per-point draw index (deterministic)
   };
 
   std::atomic<bool> armed_{false};

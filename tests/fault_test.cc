@@ -331,6 +331,62 @@ TEST(FaultRegistryTest, SpecParsing) {
   EXPECT_FALSE(reg.armed());
 }
 
+TEST(FaultRegistryTest, SpecMultiClauseAndPerPointProbability) {
+  DisarmGuard guard;
+  auto& reg = util::FaultRegistry::Global();
+  // ';' joins clauses; each clause parses on its own grammar.
+  EXPECT_TRUE(reg.ArmSpec("arena.grow:3;sink.flush:p=0.25:seed=7").ok());
+  EXPECT_TRUE(reg.armed());
+  reg.Disarm();
+  // A bad clause fails the whole spec, even after a good one.
+  EXPECT_FALSE(reg.ArmSpec("arena.grow:3;bogus.point:1").ok());
+  // Per-point p=1 fires every execution of that point and only it.
+  ASSERT_TRUE(reg.ArmSpec("net.delay:p=1").ok());
+  EXPECT_TRUE(reg.Check("net.delay"));
+  EXPECT_FALSE(reg.Check("net.reset"));
+  reg.Disarm();
+  // Disarm clears per-point probabilities too.
+  EXPECT_FALSE(reg.Check("net.delay"));
+}
+
+TEST(FaultRegistryTest, SpecWildcardPrefix) {
+  DisarmGuard guard;
+  auto& reg = util::FaultRegistry::Global();
+  // "<prefix>.*" arms every catalog point under the prefix,
+  // probability-mode only.
+  ASSERT_TRUE(reg.ArmSpec("net.*:p=1:seed=3").ok());
+  EXPECT_TRUE(reg.Check("net.accept"));
+  EXPECT_TRUE(reg.Check("net.read_stall"));
+  EXPECT_TRUE(reg.Check("net.write_truncate"));
+  EXPECT_TRUE(reg.Check("net.reset"));
+  EXPECT_TRUE(reg.Check("net.delay"));
+  EXPECT_FALSE(reg.Check("arena.grow"));
+  reg.Disarm();
+  // Wildcards reject countdown mode and unmatched prefixes.
+  EXPECT_FALSE(reg.ArmSpec("net.*:3").ok());
+  EXPECT_FALSE(reg.ArmSpec("zzz.*:p=0.5").ok());
+}
+
+TEST(FaultRegistryTest, PerPointProbabilityIsDeterministicInSeed) {
+  DisarmGuard guard;
+  auto& reg = util::FaultRegistry::Global();
+  auto draw_pattern = [&](uint64_t seed) {
+    reg.Disarm();
+    reg.ArmPointProbability("net.reset", 0.5, seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(reg.Check("net.reset"));
+    return pattern;
+  };
+  const std::vector<bool> a1 = draw_pattern(11);
+  const std::vector<bool> a2 = draw_pattern(11);
+  const std::vector<bool> b = draw_pattern(12);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  // p=0.5 over 64 draws: both outcomes occur.
+  EXPECT_NE(std::count(a1.begin(), a1.end(), true), 0);
+  EXPECT_NE(std::count(a1.begin(), a1.end(), true), 64);
+}
+
 TEST(FaultInjectionTest, AllocationFaultYieldsMemoryLimit) {
   DisarmGuard guard;
   const BipartiteGraph graph = MediumGraph();

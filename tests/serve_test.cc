@@ -57,7 +57,10 @@ class TestClient {
   bool SendRaw(const std::vector<uint8_t>& bytes) {
     size_t off = 0;
     while (off < bytes.size()) {
-      const ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off, 0);
+      // MSG_NOSIGNAL: a server-side drop between frames must surface as a
+      // failed Send, never as a SIGPIPE that kills the test binary.
+      const ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
       if (n <= 0) return false;
       off += static_cast<size_t>(n);
     }
@@ -175,8 +178,11 @@ void SoloReference(const std::shared_ptr<const Engine>& engine,
   *count = sink.count();
 }
 
-/// A kStartSession that keeps the pool busy indefinitely: dense graph,
-/// thresholds high enough that (almost) nothing is emitted.
+/// A kStartSession that keeps the pool busy long enough for the brief
+/// windows cancel/deadline/admission tests need: dense graph, thresholds
+/// high enough that (almost) nothing is emitted. The thresholds also let
+/// pruning finish the run in a few hundred ms — a test that needs a
+/// session provably alive across a longer window must enumerate in full.
 StartSessionMsg SlowStart(const std::string& graph) {
   StartSessionMsg start;
   start.graph = graph;
@@ -582,6 +588,167 @@ TEST(ServeTest, SlowReaderStallsOnlyItsOwnConnection) {
   // fails) and releases its admission slot — it does not run forever.
   for (int i = 0; i < 2000 && !h.server->idle(); ++i) usleep(10000);
   EXPECT_TRUE(h.server->idle());
+}
+
+TEST(ServeTest, PingPongEchoesToken) {
+  Harness h("ping");
+  h.StartAndConnect();
+  ASSERT_TRUE(h.client.Send(PingMsg{0xfeed1234}));
+  std::optional<Message> pong = h.client.ReadUntil(MsgType::kPong);
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(std::get<PongMsg>(*pong).token, 0xfeed1234u);
+  // The heartbeat shows up in the health counters.
+  ASSERT_TRUE(h.client.Send(InfoRequestMsg{}));
+  std::optional<Message> info = h.client.ReadUntil(MsgType::kServerInfo);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_GE(std::get<ServerInfoMsg>(*info).heartbeats, 1u);
+}
+
+TEST(ServeTest, ServerInfoReportsLiveCounters) {
+  Harness h("info");
+  h.server->registry().Put("g", SmallEngine());
+  h.StartAndConnect();
+
+  StartSessionMsg start;
+  start.graph = "g";
+  ASSERT_TRUE(h.client.Send(start));
+  ASSERT_TRUE(h.client.ReadUntil(MsgType::kSessionDone).has_value());
+
+  // sessions_completed increments just after the kSessionDone frame is
+  // queued; poll past the sliver of a race.
+  ServerInfoMsg info;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(h.client.Send(InfoRequestMsg{}));
+    std::optional<Message> reply = h.client.ReadUntil(MsgType::kServerInfo);
+    ASSERT_TRUE(reply.has_value());
+    info = std::get<ServerInfoMsg>(*reply);
+    if (info.sessions_completed >= 1) break;
+    usleep(5000);
+  }
+  EXPECT_EQ(info.pool_threads, h.server->pool_threads());
+  EXPECT_EQ(info.graphs, 1u);
+  EXPECT_EQ(info.sessions_started, 1u);
+  EXPECT_EQ(info.sessions_completed, 1u);
+  EXPECT_EQ(info.active_sessions, 0u);
+  EXPECT_GE(info.connections_accepted, 1u);
+  EXPECT_EQ(info.draining, 0);
+}
+
+// The hot-reload contract: a kReloadGraph swap binds only sessions
+// created after it. A session already created — even one still waiting in
+// the admission queue — finishes on the engine it resolved at creation.
+TEST(ServeTest, ReloadSwapsEpochWithoutDisturbingEarlierSessions) {
+  const BipartiteGraph graph_a = gen::ErdosRenyi(20, 20, 0.35, 9);
+  const BipartiteGraph graph_b = gen::ErdosRenyi(20, 20, 0.35, 12);
+  uint64_t digest_a = 0, count_a = 0, digest_b = 0, count_b = 0;
+  {
+    auto engine = Engine::Build(graph_a, GraphOptions{});
+    ASSERT_TRUE(engine.ok());
+    SoloReference(std::move(engine).value(), &digest_a, &count_a);
+  }
+  {
+    auto engine = Engine::Build(graph_b, GraphOptions{});
+    ASSERT_TRUE(engine.ok());
+    SoloReference(std::move(engine).value(), &digest_b, &count_b);
+  }
+  ASSERT_NE(digest_a, digest_b);
+
+  ServerOptions options;
+  options.max_active_sessions = 1;
+  options.max_queued_sessions = 64;
+  Harness h("reload", options);
+  h.server->registry().Put("huge", HugeEngine());
+  h.StartAndConnect();
+
+  auto send_load = [&](const BipartiteGraph& graph, bool swap) {
+    LoadGraphMsg load;
+    load.name = "g";
+    load.num_left = static_cast<uint32_t>(graph.num_left());
+    load.num_right = static_cast<uint32_t>(graph.num_right());
+    for (const auto& [u, v] : graph.ToEdges()) {
+      load.edge_left.push_back(u);
+      load.edge_right.push_back(v);
+    }
+    ASSERT_TRUE(h.client.Send(swap ? Message(ReloadGraphMsg{std::move(load)})
+                                   : Message(std::move(load))));
+  };
+  send_load(graph_a, /*swap=*/false);
+  std::optional<Message> loaded = h.client.ReadUntil(MsgType::kLoadOk);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(std::get<LoadOkMsg>(*loaded).epoch, 1u);
+
+  // The blocker occupies the only slot; the next session on "g" resolves
+  // engine A now but waits in the admission queue.
+  ASSERT_TRUE(h.client.Send(SlowStart("huge")));
+  std::optional<Message> started =
+      h.client.ReadUntil(MsgType::kSessionStarted);
+  ASSERT_TRUE(started.has_value());
+  const uint64_t blocker_id = std::get<SessionStartedMsg>(*started).session_id;
+  StartSessionMsg start;
+  start.graph = "g";
+  ASSERT_TRUE(h.client.Send(start));
+
+  // Swap in graph B while the queued session waits.
+  send_load(graph_b, /*swap=*/true);
+  loaded = h.client.ReadUntil(MsgType::kLoadOk);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(std::get<LoadOkMsg>(*loaded).epoch, 2u);
+  // A session created after the swap binds engine B (and also queues).
+  ASSERT_TRUE(h.client.Send(start));
+
+  // Release the slot and collect all three sessions.
+  ASSERT_TRUE(h.client.Send(CancelSessionMsg{blocker_id}));
+  std::map<uint64_t, FingerprintSink> folds;
+  std::map<uint64_t, uint8_t> dones;
+  while (dones.size() < 3) {
+    std::optional<Message> message = h.client.Read();
+    ASSERT_TRUE(message.has_value());
+    if (const auto* batch = std::get_if<ResultBatchMsg>(&*message)) {
+      folds[batch->session_id].EmitBatch(batch->batch);
+    } else if (const auto* done = std::get_if<SessionDoneMsg>(&*message)) {
+      dones[done->session_id] = done->termination;
+    }
+  }
+  // Session ids are assigned in creation order: blocker, then the
+  // pre-reload session (old engine), then the post-reload one (new).
+  const uint64_t pre_id = blocker_id + 1;
+  const uint64_t post_id = blocker_id + 2;
+  ASSERT_TRUE(dones.count(pre_id));
+  ASSERT_TRUE(dones.count(post_id));
+  EXPECT_EQ(dones[pre_id], static_cast<uint8_t>(Termination::kComplete));
+  EXPECT_EQ(dones[post_id], static_cast<uint8_t>(Termination::kComplete));
+  EXPECT_EQ(folds[pre_id].Digest(), digest_a);
+  EXPECT_EQ(folds[pre_id].count(), count_a);
+  EXPECT_EQ(folds[post_id].Digest(), digest_b);
+  EXPECT_EQ(folds[post_id].count(), count_b);
+}
+
+TEST(ServeTest, IdleTimeoutDropsOnlySessionlessConnections) {
+  ServerOptions options;
+  options.idle_timeout_seconds = 0.1;
+  Harness h("idle", options);
+  h.server->registry().Put("huge", HugeEngine());
+  h.StartAndConnect();
+
+  // A connection with an in-flight session outlives the idle timeout.
+  // Full enumeration of the dense graph (no thresholds, unlike SlowStart,
+  // whose pruned run can finish inside the window) takes far longer than
+  // the silent stretch, so the connection provably holds work throughout;
+  // its batches just back up in the outbound queue and socket buffer.
+  StartSessionMsg start;
+  start.graph = "huge";
+  ASSERT_TRUE(h.client.Send(start));
+  std::optional<Message> started =
+      h.client.ReadUntil(MsgType::kSessionStarted);
+  ASSERT_TRUE(started.has_value());
+  usleep(300000);  // 3x the timeout, silent, but a session is running
+  const uint64_t id = std::get<SessionStartedMsg>(*started).session_id;
+  ASSERT_TRUE(h.client.Send(CancelSessionMsg{id}));
+  ASSERT_TRUE(h.client.ReadUntil(MsgType::kSessionDone).has_value());
+
+  // With no sessions left, the next silent stretch drops the connection.
+  EXPECT_FALSE(h.client.Read().has_value());
+  EXPECT_GE(h.server->Info().idle_disconnects, 1u);
 }
 
 TEST(ServeTest, CancelOfUnknownSessionIsIgnored) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -94,9 +95,11 @@ TEST(WireTest, LoadOkRoundTrip) {
   m.num_left = 10;
   m.num_right = 20;
   m.num_edges = 55;
+  m.epoch = 3;
   m.build_seconds = 0.125;
   const Message out = RoundTrip(m);
   EXPECT_EQ(std::get<LoadOkMsg>(out).num_edges, 55u);
+  EXPECT_EQ(std::get<LoadOkMsg>(out).epoch, 3u);
   EXPECT_EQ(std::get<LoadOkMsg>(out).build_seconds, 0.125);
 }
 
@@ -167,12 +170,14 @@ TEST(WireTest, SessionDoneRoundTrip) {
   m.peak_charged_bytes = 1 << 16;
   m.queue_wait_ns = 12345;
   m.seconds = 1.75;
+  m.digest = 0xfeedface12345678;
   m.message = "budget";
   const Message out = RoundTrip(m);
   const auto& d = std::get<SessionDoneMsg>(out);
   EXPECT_EQ(d.termination, 3);
   EXPECT_EQ(d.maximal, 401u);
   EXPECT_EQ(d.queue_wait_ns, 12345u);
+  EXPECT_EQ(d.digest, 0xfeedface12345678u);
   EXPECT_EQ(d.message, "budget");
 }
 
@@ -347,6 +352,153 @@ TEST(WireTest, NameOverLimitFailsDecode) {
         static_cast<uint8_t>((payload >> (8 * i)) & 0xff);
   }
   EXPECT_FALSE(DecodeMessage(frame).ok());
+}
+
+// --- v2 messages (heartbeat, health, reload) -----------------------------
+
+TEST(WireTest, PingPongRoundTrip) {
+  const Message ping = RoundTrip(PingMsg{0x1122334455667788});
+  EXPECT_EQ(std::get<PingMsg>(ping).token, 0x1122334455667788u);
+  const Message pong = RoundTrip(PongMsg{0x8877665544332211});
+  EXPECT_EQ(std::get<PongMsg>(pong).token, 0x8877665544332211u);
+}
+
+TEST(WireTest, InfoRequestRoundTripIsEmptyPayload) {
+  const std::vector<uint8_t> frame = Encode(InfoRequestMsg{});
+  EXPECT_EQ(frame.size(), kFrameHeaderBytes);  // no payload at all
+  RoundTrip(InfoRequestMsg{});
+}
+
+TEST(WireTest, ServerInfoRoundTrip) {
+  ServerInfoMsg m;
+  m.pool_threads = 8;
+  m.active_sessions = 3;
+  m.queued_sessions = 5;
+  m.graphs = 2;
+  m.sessions_started = 100;
+  m.sessions_completed = 97;
+  m.reloads = 4;
+  m.heartbeats = 12;
+  m.idle_disconnects = 1;
+  m.connections_accepted = 9;
+  m.draining = 1;
+  const Message out = RoundTrip(m);
+  const auto& info = std::get<ServerInfoMsg>(out);
+  EXPECT_EQ(info.pool_threads, 8u);
+  EXPECT_EQ(info.queued_sessions, 5u);
+  EXPECT_EQ(info.sessions_started, 100u);
+  EXPECT_EQ(info.sessions_completed, 97u);
+  EXPECT_EQ(info.reloads, 4u);
+  EXPECT_EQ(info.heartbeats, 12u);
+  EXPECT_EQ(info.idle_disconnects, 1u);
+  EXPECT_EQ(info.connections_accepted, 9u);
+  EXPECT_EQ(info.draining, 1);
+}
+
+TEST(WireTest, ReloadGraphRoundTripSharesLoadLayout) {
+  const Message out = RoundTrip(ReloadGraphMsg{MakeLoadGraph()});
+  const auto& m = std::get<ReloadGraphMsg>(out).load;
+  EXPECT_EQ(m.name, "bench");
+  EXPECT_EQ(m.edge_left, (std::vector<VertexId>{0, 1, 2, 3, 3}));
+  EXPECT_EQ(m.seed, 0xdeadbeefcafeu);
+  // Same payload bytes as the kLoadGraph encoding; only the type byte
+  // (offset 4) differs.
+  const std::vector<uint8_t> as_load = Encode(MakeLoadGraph());
+  std::vector<uint8_t> as_reload = Encode(ReloadGraphMsg{MakeLoadGraph()});
+  EXPECT_EQ(as_reload[4], static_cast<uint8_t>(MsgType::kReloadGraph));
+  as_reload[4] = static_cast<uint8_t>(MsgType::kLoadGraph);
+  EXPECT_EQ(as_reload, as_load);
+}
+
+TEST(WireTest, ReloadGraphValidatesLikeLoadGraph) {
+  ReloadGraphMsg bad{MakeLoadGraph()};
+  bad.load.edge_left.push_back(99);  // id out of range, arrays mismatched
+  std::vector<uint8_t> frame;
+  EXPECT_FALSE(EncodeMessage(bad, &frame).ok());
+}
+
+// --- FrameAssembler ------------------------------------------------------
+
+std::vector<uint8_t> ConcatFrames(const std::vector<Message>& messages) {
+  std::vector<uint8_t> bytes;
+  for (const Message& m : messages) {
+    const std::vector<uint8_t> frame = Encode(m);
+    bytes.insert(bytes.end(), frame.begin(), frame.end());
+  }
+  return bytes;
+}
+
+/// Feeds `bytes` to an assembler in `chunk`-sized slices and returns
+/// every decoded message.
+std::vector<Message> FeedChunked(const std::vector<uint8_t>& bytes,
+                                 size_t chunk) {
+  FrameAssembler assembler;
+  std::vector<Message> out;
+  for (size_t off = 0; off < bytes.size(); off += chunk) {
+    const size_t n = std::min(chunk, bytes.size() - off);
+    assembler.Feed(std::span<const uint8_t>(bytes.data() + off, n));
+    for (;;) {
+      Message message;
+      auto produced = assembler.Next(&message);
+      EXPECT_TRUE(produced.ok()) << produced.status().ToString();
+      if (!produced.ok() || !produced.value()) break;
+      out.push_back(std::move(message));
+    }
+  }
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
+  return out;
+}
+
+TEST(WireTest, AssemblerSplitInvariance) {
+  SessionDoneMsg done;
+  done.session_id = 5;
+  done.digest = 0xabcdef;
+  done.message = "fin";
+  const std::vector<uint8_t> bytes = ConcatFrames(
+      {HelloMsg{}, PingMsg{42}, MakeLoadGraph(), InfoRequestMsg{}, done});
+  // Pathological short reads — 1 byte at a time splits every header and
+  // payload — must decode identically to any other chunking.
+  for (const size_t chunk : {size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                             size_t{4096}, bytes.size()}) {
+    const std::vector<Message> out = FeedChunked(bytes, chunk);
+    ASSERT_EQ(out.size(), 5u) << "chunk=" << chunk;
+    EXPECT_EQ(TypeOf(out[0]), MsgType::kHello);
+    EXPECT_EQ(std::get<PingMsg>(out[1]).token, 42u);
+    EXPECT_EQ(std::get<LoadGraphMsg>(out[2]).name, "bench");
+    EXPECT_EQ(TypeOf(out[3]), MsgType::kInfoRequest);
+    EXPECT_EQ(std::get<SessionDoneMsg>(out[4]).message, "fin");
+  }
+}
+
+TEST(WireTest, AssemblerPoisonsOnCorruptFrame) {
+  FrameAssembler assembler;
+  // Oversized length claim: instantly corrupt, and the poison sticks even
+  // after valid bytes arrive — a stream that lied once cannot resync.
+  const std::vector<uint8_t> bad = {0xff, 0xff, 0xff, 0xff, 0x01};
+  assembler.Feed(bad);
+  Message message;
+  EXPECT_FALSE(assembler.Next(&message).ok());
+  const std::vector<uint8_t> good = Encode(HelloMsg{});
+  assembler.Feed(good);
+  EXPECT_FALSE(assembler.Next(&message).ok());
+}
+
+TEST(WireTest, AssemblerPoisonsOnUndecodablePayload) {
+  FrameAssembler assembler;
+  std::vector<uint8_t> frame = Encode(PingMsg{1});
+  frame[4] = 200;  // unknown message type, full frame present
+  assembler.Feed(frame);
+  Message message;
+  EXPECT_FALSE(assembler.Next(&message).ok());
+}
+
+TEST(WireTest, AssemblerIdleWithoutInput) {
+  FrameAssembler assembler;
+  Message message;
+  auto produced = assembler.Next(&message);
+  ASSERT_TRUE(produced.ok());
+  EXPECT_FALSE(produced.value());
+  EXPECT_EQ(assembler.buffered_bytes(), 0u);
 }
 
 TEST(WireTest, RejectReasonNamesAreStable) {

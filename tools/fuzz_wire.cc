@@ -107,6 +107,21 @@ std::vector<std::vector<uint8_t>> BuildSeeds() {
   messages.push_back(done);
   messages.push_back(RejectedMsg{2, "draining"});
   messages.push_back(ErrorMsg{"bad frame"});
+  // Protocol v2: heartbeat, health, and reload frames.
+  messages.push_back(PingMsg{0x1234});
+  messages.push_back(PongMsg{0x1234});
+  messages.push_back(InfoRequestMsg{});
+  ServerInfoMsg info;
+  info.pool_threads = 8;
+  info.active_sessions = 2;
+  info.graphs = 1;
+  info.sessions_started = 10;
+  info.sessions_completed = 9;
+  info.reloads = 1;
+  info.heartbeats = 3;
+  info.connections_accepted = 4;
+  messages.push_back(info);
+  messages.push_back(ReloadGraphMsg{load});
 
   std::vector<std::vector<uint8_t>> seeds;
   for (const Message& message : messages) {

@@ -1,10 +1,14 @@
 // pmbe_load — load generator and correctness client for pmbe_serve.
 //
-// Connects to a running daemon, uploads a synthetic dataset (gen/registry),
-// keeps `--concurrent` enumeration sessions in flight until `--sessions`
-// have completed, and reports client-observed latency percentiles (send ->
-// kSessionDone, including admission queueing). With --verify (default) it
-// first enumerates the same graph locally and checks every completed
+// Built on the fault-tolerant client library (client/client.h): every
+// socket operation carries a deadline, retryable failures reconnect with
+// backoff, and each session's result stream is digest-verified against
+// the server's kSessionDone fingerprint before it counts. Runs
+// `--concurrent` worker threads (one mbe::client::Client each), keeps a
+// session in flight per worker until `--sessions` have finished, and
+// reports client-observed latency percentiles (request -> verified done,
+// including admission queueing and any retries). With --verify (default)
+// it first enumerates the same graph locally and checks every completed
 // remote session's order-independent result fingerprint against the local
 // one — any cross-session corruption on the server shows up as a digest
 // mismatch.
@@ -12,26 +16,23 @@
 //   pmbe_serve --unix=/tmp/pmbe.sock --max-active=64 &
 //   pmbe_load --unix=/tmp/pmbe.sock --sessions=128 --concurrent=64
 //       --out=bench/BENCH_serve.json
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+//
+// Chaos-run extras: --reload-upload uploads via kReloadGraph (idempotent
+// swap, safe to re-issue when fault injection kills the upload mid-way);
+// --reload-after=K hot-swaps the graph mid-traffic after K sessions have
+// finished, proving in-flight sessions stay on their engine epoch.
 
 #include <algorithm>
-#include <cerrno>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <cstring>
-#include <deque>
-#include <map>
-#include <memory>
+#include <mutex>
 #include <string>
-#include <variant>
+#include <thread>
 #include <vector>
 
 #include "api/mbe.h"
+#include "client/client.h"
 #include "gen/registry.h"
 #include "serve/wire.h"
 #include "util/flags.h"
@@ -44,84 +45,6 @@ double MsSince(Clock::time_point t0, Clock::time_point t1) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
 
-/// Minimal blocking wire client: one socket, buffered frame reads.
-class WireClient {
- public:
-  ~WireClient() {
-    if (fd_ >= 0) ::close(fd_);
-  }
-
-  bool ConnectUnix(const std::string& path) {
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.size() >= sizeof(addr.sun_path)) return false;
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    return fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
-                                 sizeof(addr)) == 0;
-  }
-
-  bool ConnectTcp(uint16_t port) {
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    return fd_ >= 0 && ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
-                                 sizeof(addr)) == 0;
-  }
-
-  bool Send(const mbe::serve::Message& message) {
-    std::vector<uint8_t> frame;
-    if (!mbe::serve::EncodeMessage(message, &frame).ok()) return false;
-    size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n =
-          ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return false;
-      off += static_cast<size_t>(n);
-    }
-    return true;
-  }
-
-  /// Blocks until one complete frame is available and decodes it.
-  mbe::util::StatusOr<mbe::serve::Message> Read() {
-    for (;;) {
-      size_t frame_size = 0;
-      bool complete = false;
-      if (mbe::util::Status status = mbe::serve::PeekFrame(
-              std::span<const uint8_t>(buffer_), &frame_size, &complete);
-          !status.ok()) {
-        return status;
-      }
-      if (complete) {
-        auto decoded = mbe::serve::DecodeMessage(
-            std::span<const uint8_t>(buffer_.data(), frame_size));
-        buffer_.erase(buffer_.begin(),
-                      buffer_.begin() + static_cast<ptrdiff_t>(frame_size));
-        return decoded;
-      }
-      uint8_t chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) {
-        return mbe::util::Status::IoError("connection closed by server");
-      }
-      buffer_.insert(buffer_.end(), chunk, chunk + n);
-    }
-  }
-
- private:
-  int fd_ = -1;
-  std::vector<uint8_t> buffer_;
-};
-
-struct SessionTracker {
-  mbe::FingerprintSink fingerprint;
-  Clock::time_point started_at;
-};
-
 double Percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -130,6 +53,21 @@ double Percentile(std::vector<double> sorted, double p) {
   const double frac = rank - static_cast<double>(lo);
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
+
+/// Shared tally across worker threads; one session lands in exactly one
+/// of {completed, rejected} (incomplete and mismatches subdivide
+/// completed).
+struct Tally {
+  std::mutex mu;
+  std::vector<double> latencies_ms;
+  uint64_t max_queue_wait_ns = 0;
+  int completed = 0;
+  int incomplete = 0;
+  int rejected = 0;
+  int mismatches = 0;
+  uint64_t attempts = 0;
+  std::atomic<int> finished{0};  // completed + rejected, lock-free reads
+};
 
 }  // namespace
 
@@ -151,6 +89,15 @@ int main(int argc, char** argv) {
   flags.AddBool("verify", true,
                 "check every complete session's fingerprint against a "
                 "local run");
+  flags.AddInt("retries", 4, "client retries per operation");
+  flags.AddDouble("io-timeout", 30, "per-syscall read/write deadline (s)");
+  flags.AddDouble("connect-timeout", 5, "per-attempt connect deadline (s)");
+  flags.AddBool("reload-upload", false,
+                "upload via kReloadGraph (idempotent swap) instead of "
+                "first-wins kLoadGraph — safe to re-issue under faults");
+  flags.AddInt("reload-after", 0,
+               "hot-swap the graph (kReloadGraph, same data) after this "
+               "many sessions finished (0 = never)");
   flags.AddString("out", "", "write a JSON latency report here");
   flags.Parse(argc, argv);
 
@@ -165,9 +112,11 @@ int main(int argc, char** argv) {
   const uint32_t min_right =
       static_cast<uint32_t>(flags.GetInt("min-right"));
   const int total_sessions = static_cast<int>(flags.GetInt("sessions"));
-  const int concurrent =
-      std::max(1, static_cast<int>(flags.GetInt("concurrent")));
+  const int concurrent = std::max(
+      1, std::min(static_cast<int>(flags.GetInt("concurrent")),
+                  std::max(1, total_sessions)));
   const bool verify = flags.GetBool("verify");
+  const int reload_after = static_cast<int>(flags.GetInt("reload-after"));
 
   const mbe::gen::DatasetSpec& spec =
       mbe::gen::FindDataset(flags.GetString("graph"));
@@ -198,33 +147,46 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(want_digest));
   }
 
-  WireClient client;
-  const std::string unix_path = flags.GetString("unix");
-  if (!unix_path.empty() ? !client.ConnectUnix(unix_path)
-                         : !client.ConnectTcp(static_cast<uint16_t>(
-                               flags.GetInt("port")))) {
-    std::fprintf(stderr, "cannot connect to the daemon\n");
+  mbe::client::ClientOptions copts;
+  copts.unix_path = flags.GetString("unix");
+  copts.tcp_port = static_cast<uint16_t>(flags.GetInt("port"));
+  copts.connect_timeout_seconds = flags.GetDouble("connect-timeout");
+  copts.io_timeout_seconds = flags.GetDouble("io-timeout");
+  copts.max_retries = static_cast<uint32_t>(flags.GetInt("retries"));
+
+  // The control client handles upload, heartbeat, and mid-run reloads;
+  // each worker thread gets its own Client (thread-compatible, one
+  // conversation each) with a distinct backoff seed so their retry
+  // jitters don't stampede in lockstep.
+  mbe::client::Client control(copts);
+  if (auto status = control.Connect(); !status.ok()) {
+    std::fprintf(stderr, "cannot connect to the daemon: %s\n",
+                 status.ToString().c_str());
     return 1;
   }
-
-  // Handshake.
-  if (!client.Send(mbe::serve::HelloMsg{})) return 1;
   {
-    auto reply = client.Read();
-    if (!reply.ok() ||
-        !std::holds_alternative<mbe::serve::HelloOkMsg>(reply.value())) {
-      std::fprintf(stderr, "handshake failed\n");
+    const Clock::time_point t0 = Clock::now();
+    if (auto status = control.Ping(); !status.ok()) {
+      std::fprintf(stderr, "ping failed: %s\n", status.ToString().c_str());
       return 1;
+    }
+    auto info = control.GetServerInfo();
+    if (info.ok()) {
+      std::printf(
+          "ping %.2fms; server: pool=%u active=%u queued=%u graphs=%u%s\n",
+          MsSince(t0, Clock::now()), info.value().pool_threads,
+          info.value().active_sessions, info.value().queued_sessions,
+          info.value().graphs, info.value().draining ? " draining" : "");
     }
   }
 
   // Upload the graph, mirroring the one-shot facade's preprocessing
   // choices so the server-side engine matches the local reference.
+  mbe::serve::LoadGraphMsg load;
+  load.name = spec.name;
+  load.num_left = static_cast<uint32_t>(graph.num_left());
+  load.num_right = static_cast<uint32_t>(graph.num_right());
   {
-    mbe::serve::LoadGraphMsg load;
-    load.name = spec.name;
-    load.num_left = static_cast<uint32_t>(graph.num_left());
-    load.num_right = static_cast<uint32_t>(graph.num_right());
     const std::vector<mbe::Edge> edges = graph.ToEdges();
     load.edge_left.reserve(edges.size());
     load.edge_right.reserve(edges.size());
@@ -232,22 +194,23 @@ int main(int argc, char** argv) {
       load.edge_left.push_back(e.u);
       load.edge_right.push_back(e.v);
     }
-    load.core_reduce = algorithm == mbe::Algorithm::kMbet ||
-                       algorithm == mbe::Algorithm::kMbetM;
-    load.min_left = min_left;
-    load.min_right = min_right;
-    if (!client.Send(load)) return 1;
-    auto reply = client.Read();
-    if (!reply.ok() ||
-        !std::holds_alternative<mbe::serve::LoadOkMsg>(reply.value())) {
-      std::fprintf(stderr, "graph upload failed\n");
+  }
+  load.core_reduce = algorithm == mbe::Algorithm::kMbet ||
+                     algorithm == mbe::Algorithm::kMbetM;
+  load.min_left = min_left;
+  load.min_right = min_right;
+  {
+    auto reply = flags.GetBool("reload-upload") ? control.ReloadGraph(load)
+                                                : control.LoadGraph(load);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "graph upload failed: %s\n",
+                   reply.status().ToString().c_str());
       return 1;
     }
-    const auto& ok = std::get<mbe::serve::LoadOkMsg>(reply.value());
     std::printf("uploaded '%s': %llu edges retained, build %.3fs\n",
-                ok.name.c_str(),
-                static_cast<unsigned long long>(ok.num_edges),
-                ok.build_seconds);
+                reply.value().name.c_str(),
+                static_cast<unsigned long long>(reply.value().num_edges),
+                reply.value().build_seconds);
   }
 
   mbe::serve::StartSessionMsg start;
@@ -260,122 +223,124 @@ int main(int argc, char** argv) {
   start.max_memory_bytes = static_cast<uint64_t>(flags.GetInt("max-memory"));
   start.batch_results = static_cast<uint32_t>(flags.GetInt("batch"));
 
-  // Request send times pair with kSessionStarted frames in FIFO order; all
-  // requests are identical, so the (rare) admission reordering only blurs
-  // individual latencies, never the percentile picture.
-  std::deque<Clock::time_point> pending_starts;
-  std::map<uint64_t, std::unique_ptr<SessionTracker>> active;
-  std::vector<double> latencies_ms;
-  uint64_t max_queue_wait_ns = 0;
-  int sent = 0;
-  int completed = 0;
-  int rejected = 0;
-  int mismatches = 0;
-  int incomplete = 0;
+  Tally tally;
+  std::atomic<int> next_session{0};
+  std::atomic<uint64_t> worker_retries{0};
+  std::atomic<uint64_t> worker_reconnects{0};
 
-  auto send_one = [&]() -> bool {
-    pending_starts.push_back(Clock::now());
-    ++sent;
-    return client.Send(start);
-  };
-
-  const Clock::time_point bench_start = Clock::now();
-  for (int i = 0; i < std::min(concurrent, total_sessions); ++i) {
-    if (!send_one()) return 1;
-  }
-
-  while (completed + rejected < total_sessions) {
-    auto frame = client.Read();
-    if (!frame.ok()) {
-      std::fprintf(stderr, "read: %s\n",
-                   frame.status().ToString().c_str());
-      return 1;
-    }
-    mbe::serve::Message message = std::move(frame).value();
-    if (auto* started =
-            std::get_if<mbe::serve::SessionStartedMsg>(&message)) {
-      auto tracker = std::make_unique<SessionTracker>();
-      tracker->started_at = pending_starts.front();
-      pending_starts.pop_front();
-      active[started->session_id] = std::move(tracker);
-    } else if (auto* batch =
-                   std::get_if<mbe::serve::ResultBatchMsg>(&message)) {
-      auto it = active.find(batch->session_id);
-      if (it == active.end()) {
-        std::fprintf(stderr, "batch for unknown session %llu\n",
-                     static_cast<unsigned long long>(batch->session_id));
-        return 1;
-      }
-      it->second->fingerprint.EmitBatch(batch->batch);
-    } else if (auto* done =
-                   std::get_if<mbe::serve::SessionDoneMsg>(&message)) {
-      auto it = active.find(done->session_id);
-      if (it == active.end()) {
-        std::fprintf(stderr, "done for unknown session %llu\n",
-                     static_cast<unsigned long long>(done->session_id));
-        return 1;
-      }
-      latencies_ms.push_back(MsSince(it->second->started_at, Clock::now()));
-      max_queue_wait_ns = std::max(max_queue_wait_ns, done->queue_wait_ns);
-      const auto termination =
-          static_cast<mbe::Termination>(done->termination);
-      if (termination == mbe::Termination::kComplete) {
-        if (verify) {
-          const uint64_t got_digest = it->second->fingerprint.Digest();
-          const uint64_t got_count = it->second->fingerprint.count();
-          if (got_digest != want_digest || got_count != want_count ||
-              done->results_emitted != want_count) {
+  auto worker = [&](int worker_id) {
+    mbe::client::ClientOptions opts = copts;
+    opts.backoff_seed =
+        copts.backoff_seed + static_cast<uint64_t>(worker_id) * 7919;
+    mbe::client::Client client(opts);
+    while (next_session.fetch_add(1) < total_sessions) {
+      const Clock::time_point t0 = Clock::now();
+      auto outcome = client.Enumerate(start, /*sink=*/nullptr);
+      const double ms = MsSince(t0, Clock::now());
+      std::lock_guard<std::mutex> lock(tally.mu);
+      if (outcome.ok()) {
+        const auto& done = outcome.value().done;
+        tally.latencies_ms.push_back(ms);
+        tally.max_queue_wait_ns =
+            std::max(tally.max_queue_wait_ns, done.queue_wait_ns);
+        tally.attempts += outcome.value().attempts;
+        const auto termination =
+            static_cast<mbe::Termination>(done.termination);
+        if (termination == mbe::Termination::kComplete) {
+          if (verify && (outcome.value().digest != want_digest ||
+                         done.results_emitted != want_count)) {
             std::fprintf(
                 stderr,
                 "DIGEST MISMATCH session %llu: got %016llx/%llu want "
                 "%016llx/%llu\n",
-                static_cast<unsigned long long>(done->session_id),
-                static_cast<unsigned long long>(got_digest),
-                static_cast<unsigned long long>(got_count),
+                static_cast<unsigned long long>(done.session_id),
+                static_cast<unsigned long long>(outcome.value().digest),
+                static_cast<unsigned long long>(done.results_emitted),
                 static_cast<unsigned long long>(want_digest),
                 static_cast<unsigned long long>(want_count));
-            ++mismatches;
+            ++tally.mismatches;
           }
+        } else {
+          ++tally.incomplete;
         }
+        ++tally.completed;
+      } else if (client.last_error() ==
+                 mbe::client::ErrorKind::kDigestMismatch) {
+        // The stream the server delivered disagrees with its own digest
+        // — transport-level corruption, the headline failure mode.
+        std::fprintf(stderr, "DIGEST MISMATCH (stream): %s\n",
+                     outcome.status().ToString().c_str());
+        ++tally.mismatches;
+        ++tally.completed;
       } else {
-        ++incomplete;
+        // Rejected (draining / busy after retries) or the connection is
+        // terminally gone; the session never ran to a verified end.
+        std::fprintf(stderr, "rejected: %s\n",
+                     outcome.status().ToString().c_str());
+        ++tally.rejected;
       }
-      active.erase(it);
-      ++completed;
-      if (sent < total_sessions && !send_one()) return 1;
-    } else if (auto* reject =
-                   std::get_if<mbe::serve::RejectedMsg>(&message)) {
-      std::fprintf(stderr, "rejected: %s\n", reject->detail.c_str());
-      pending_starts.pop_front();
-      ++rejected;
-      if (sent < total_sessions && !send_one()) return 1;
-    } else if (auto* error = std::get_if<mbe::serve::ErrorMsg>(&message)) {
-      std::fprintf(stderr, "server error: %s\n", error->detail.c_str());
-      return 1;
+      tally.finished.fetch_add(1);
     }
-  }
-  const double wall_s =
-      MsSince(bench_start, Clock::now()) / 1000.0;
+    worker_retries.fetch_add(client.retries());
+    worker_reconnects.fetch_add(client.reconnects());
+  };
 
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  const double p50 = Percentile(latencies_ms, 0.50);
-  const double p95 = Percentile(latencies_ms, 0.95);
-  const double p99 = Percentile(latencies_ms, 0.99);
+  const Clock::time_point bench_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(concurrent));
+  for (int i = 0; i < concurrent; ++i) threads.emplace_back(worker, i);
+
+  // Mid-traffic hot reload: after `reload_after` sessions finished, swap
+  // the same graph in under a new epoch. In-flight sessions must keep
+  // their engine; the digest check on every later session proves the
+  // swapped-in engine enumerates identically.
+  bool reload_fired = false;
+  while (tally.finished.load() < total_sessions) {
+    if (!reload_fired && reload_after > 0 &&
+        tally.finished.load() >= reload_after) {
+      reload_fired = true;
+      auto reply = control.ReloadGraph(load);
+      if (reply.ok()) {
+        std::printf("reloaded '%s' mid-traffic (epoch %llu)\n",
+                    reply.value().name.c_str(),
+                    static_cast<unsigned long long>(reply.value().epoch));
+        std::fflush(stdout);
+      } else {
+        std::fprintf(stderr, "mid-traffic reload failed: %s\n",
+                     reply.status().ToString().c_str());
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = MsSince(bench_start, Clock::now()) / 1000.0;
+
+  std::sort(tally.latencies_ms.begin(), tally.latencies_ms.end());
+  const double p50 = Percentile(tally.latencies_ms, 0.50);
+  const double p95 = Percentile(tally.latencies_ms, 0.95);
+  const double p99 = Percentile(tally.latencies_ms, 0.99);
   double mean = 0;
-  for (double v : latencies_ms) mean += v;
-  if (!latencies_ms.empty()) mean /= static_cast<double>(latencies_ms.size());
+  for (double v : tally.latencies_ms) mean += v;
+  if (!tally.latencies_ms.empty()) {
+    mean /= static_cast<double>(tally.latencies_ms.size());
+  }
 
   std::printf(
       "%d sessions (%d concurrent): %d complete, %d interrupted, %d "
       "rejected, %d digest mismatches\n",
-      total_sessions, concurrent, completed - incomplete, incomplete,
-      rejected, mismatches);
+      total_sessions, concurrent, tally.completed - tally.incomplete,
+      tally.incomplete, tally.rejected, tally.mismatches);
   std::printf(
       "latency ms: p50=%.1f p95=%.1f p99=%.1f mean=%.1f  throughput=%.1f "
       "sessions/s  max_queue_wait=%.1fms\n",
       p50, p95, p99, mean,
-      wall_s > 0 ? static_cast<double>(completed) / wall_s : 0,
-      static_cast<double>(max_queue_wait_ns) / 1e6);
+      wall_s > 0 ? static_cast<double>(tally.completed) / wall_s : 0,
+      static_cast<double>(tally.max_queue_wait_ns) / 1e6);
+  std::printf(
+      "client: %llu attempts, %llu retries, %llu reconnects\n",
+      static_cast<unsigned long long>(tally.attempts),
+      static_cast<unsigned long long>(worker_retries.load()),
+      static_cast<unsigned long long>(worker_reconnects.load()));
 
   const std::string out = flags.GetString("out");
   if (!out.empty()) {
@@ -397,6 +362,8 @@ int main(int argc, char** argv) {
                  "  \"rejected\": %d,\n"
                  "  \"digest_mismatches\": %d,\n"
                  "  \"verified\": %s,\n"
+                 "  \"retries\": %llu,\n"
+                 "  \"reconnects\": %llu,\n"
                  "  \"latency_ms\": {\"p50\": %.2f, \"p95\": %.2f, "
                  "\"p99\": %.2f, \"mean\": %.2f},\n"
                  "  \"throughput_sessions_per_s\": %.2f,\n"
@@ -404,15 +371,19 @@ int main(int argc, char** argv) {
                  "  \"wall_seconds\": %.2f\n"
                  "}\n",
                  spec.name.c_str(), flags.GetDouble("scale"),
-                 mbe::AlgorithmName(algorithm),
-                 total_sessions, concurrent, completed - incomplete,
-                 incomplete, rejected, mismatches,
-                 verify && mismatches == 0 ? "true" : "false", p50, p95,
-                 p99, mean,
-                 wall_s > 0 ? static_cast<double>(completed) / wall_s : 0,
-                 static_cast<double>(max_queue_wait_ns) / 1e6, wall_s);
+                 mbe::AlgorithmName(algorithm), total_sessions, concurrent,
+                 tally.completed - tally.incomplete, tally.incomplete,
+                 tally.rejected, tally.mismatches,
+                 verify && tally.mismatches == 0 ? "true" : "false",
+                 static_cast<unsigned long long>(worker_retries.load()),
+                 static_cast<unsigned long long>(worker_reconnects.load()),
+                 p50, p95, p99, mean,
+                 wall_s > 0 ? static_cast<double>(tally.completed) / wall_s
+                            : 0,
+                 static_cast<double>(tally.max_queue_wait_ns) / 1e6,
+                 wall_s);
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());
   }
-  return mismatches == 0 ? 0 : 1;
+  return tally.mismatches == 0 ? 0 : 1;
 }

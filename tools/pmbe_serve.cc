@@ -9,7 +9,13 @@
 // process exits cleanly.
 //
 // Graphs can be preloaded from files (positional `name=path` edge lists)
-// or uploaded by clients with kLoadGraph frames.
+// or uploaded by clients with kLoadGraph frames. SIGHUP hot-reloads every
+// preloaded graph from its file into a new registry epoch: in-flight
+// sessions finish on the engine they started with, new sessions bind the
+// re-read graph (the same swap a client kReloadGraph frame performs).
+//
+// --stats prints the kServerInfo counter line once a second; --idle-timeout
+// drops connections that sit silent with no in-flight sessions.
 //
 //   pmbe_serve --unix=/tmp/pmbe.sock --max-active=64 web=graphs/web.txt
 
@@ -18,7 +24,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "graph/graph_io.h"
 #include "serve/server.h"
@@ -27,8 +36,44 @@
 namespace {
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<bool> g_reload{false};
 
 void HandleSignal(int /*signal*/) { g_shutdown.store(true); }
+
+void HandleHup(int /*signal*/) { g_reload.store(true); }
+
+struct PreloadSpec {
+  std::string name;
+  std::string path;
+};
+
+// Builds an engine from one name=path spec (default GraphOptions — the
+// same options the original preload used, so a SIGHUP swap changes only
+// the data, never the preprocessing).
+mbe::util::StatusOr<std::shared_ptr<const mbe::Engine>> BuildFromFile(
+    const PreloadSpec& spec) {
+  auto graph = mbe::LoadEdgeList(spec.path);
+  if (!graph.ok()) return graph.status();
+  auto engine =
+      mbe::Engine::Build(std::move(graph).value(), mbe::GraphOptions{});
+  if (!engine.ok()) return engine.status();
+  return std::shared_ptr<const mbe::Engine>(std::move(engine).value());
+}
+
+void PrintStats(const mbe::serve::ServerInfoMsg& info) {
+  std::printf(
+      "stats: active=%u queued=%u graphs=%u started=%llu done=%llu "
+      "reloads=%llu heartbeats=%llu idle-drops=%llu conns=%llu%s\n",
+      info.active_sessions, info.queued_sessions, info.graphs,
+      static_cast<unsigned long long>(info.sessions_started),
+      static_cast<unsigned long long>(info.sessions_completed),
+      static_cast<unsigned long long>(info.reloads),
+      static_cast<unsigned long long>(info.heartbeats),
+      static_cast<unsigned long long>(info.idle_disconnects),
+      static_cast<unsigned long long>(info.connections_accepted),
+      info.draining ? " draining" : "");
+  std::fflush(stdout);
+}
 
 }  // namespace
 
@@ -42,7 +87,16 @@ int main(int argc, char** argv) {
                "session-pool worker threads (0 = hardware concurrency)");
   flags.AddInt("max-active", 8, "sessions running concurrently");
   flags.AddInt("max-queued", 64, "sessions waiting before kRejected");
+  flags.AddDouble("idle-timeout", 0,
+                  "drop connections silent this many seconds with no "
+                  "in-flight sessions (0 = never)");
+  flags.AddBool("stats", false, "print live counters once a second");
   flags.Parse(argc, argv);
+
+  // A peer that vanishes mid-write must surface as a socket error on that
+  // connection, never as process death. The per-call guard is MSG_NOSIGNAL
+  // in serve/net.h; this covers any path outside the shim.
+  std::signal(SIGPIPE, SIG_IGN);
 
   mbe::serve::ServerOptions options;
   options.unix_path = flags.GetString("unix");
@@ -53,10 +107,14 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("max-active"));
   options.max_queued_sessions =
       static_cast<size_t>(flags.GetInt("max-queued"));
+  options.idle_timeout_seconds = flags.GetDouble("idle-timeout");
+  const bool stats = flags.GetBool("stats");
 
   mbe::serve::Server server(options);
 
-  // Preload positional name=path graphs with default GraphOptions.
+  // Preload positional name=path graphs with default GraphOptions; the
+  // specs are remembered so SIGHUP can re-read and swap them.
+  std::vector<PreloadSpec> preloads;
   for (const std::string& spec : flags.positional()) {
     const size_t eq = spec.find('=');
     if (eq == std::string::npos || eq == 0) {
@@ -64,26 +122,20 @@ int main(int argc, char** argv) {
                    spec.c_str());
       return 1;
     }
-    const std::string name = spec.substr(0, eq);
-    const std::string path = spec.substr(eq + 1);
-    auto graph = mbe::LoadEdgeList(path);
-    if (!graph.ok()) {
-      std::fprintf(stderr, "load %s: %s\n", path.c_str(),
-                   graph.status().ToString().c_str());
-      return 1;
-    }
-    auto engine =
-        mbe::Engine::Build(std::move(graph).value(), mbe::GraphOptions{});
+    preloads.push_back(PreloadSpec{spec.substr(0, eq), spec.substr(eq + 1)});
+  }
+  for (const PreloadSpec& spec : preloads) {
+    auto engine = BuildFromFile(spec);
     if (!engine.ok()) {
-      std::fprintf(stderr, "build %s: %s\n", name.c_str(),
+      std::fprintf(stderr, "load %s: %s\n", spec.path.c_str(),
                    engine.status().ToString().c_str());
       return 1;
     }
-    std::printf("loaded %s: %s (build %.3fs)\n", name.c_str(),
+    std::printf("loaded %s: %s (build %.3fs)\n", spec.name.c_str(),
                 engine.value()->graph().Summary().c_str(),
                 engine.value()->build_seconds());
-    if (!server.registry().Put(name, std::move(engine).value())) {
-      std::fprintf(stderr, "duplicate graph name '%s'\n", name.c_str());
+    if (!server.registry().Put(spec.name, std::move(engine).value())) {
+      std::fprintf(stderr, "duplicate graph name '%s'\n", spec.name.c_str());
       return 1;
     }
   }
@@ -105,9 +157,38 @@ int main(int argc, char** argv) {
 
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
+  std::signal(SIGHUP, HandleHup);
 
+  auto last_stats = std::chrono::steady_clock::now();
   while (!g_shutdown.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_reload.exchange(false)) {
+      // Hot reload: re-read every preloaded file and swap it in under a
+      // new epoch. A file that no longer loads keeps its current engine —
+      // a bad deploy must not take down the graphs that still work.
+      for (const PreloadSpec& spec : preloads) {
+        auto engine = BuildFromFile(spec);
+        if (!engine.ok()) {
+          std::fprintf(stderr, "reload %s: %s (keeping current engine)\n",
+                       spec.path.c_str(),
+                       engine.status().ToString().c_str());
+          continue;
+        }
+        const uint64_t epoch =
+            server.registry().Swap(spec.name, std::move(engine).value());
+        std::printf("reloaded %s from %s (epoch %llu)\n", spec.name.c_str(),
+                    spec.path.c_str(),
+                    static_cast<unsigned long long>(epoch));
+      }
+      std::fflush(stdout);
+    }
+    if (stats) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_stats >= std::chrono::seconds(1)) {
+        last_stats = now;
+        PrintStats(server.Info());
+      }
+    }
   }
 
   // Drain: stop admitting, let running sessions finish and deliver their
@@ -118,6 +199,7 @@ int main(int argc, char** argv) {
   while (!server.idle()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
+  if (stats) PrintStats(server.Info());
   server.Stop();
   std::printf("pmbe_serve stopped\n");
   return 0;
